@@ -1,0 +1,90 @@
+// Ablation: RFC 9276 Items 4/5 — why large delegation-centric zones keep
+// NSEC3 for its opt-out flag even though hashing no longer hides anything.
+//
+// Builds TLD-shaped zones (many delegations, few of them signed) with and
+// without opt-out and measures chain length, record count and signing cost.
+// Opt-out removes insecure delegations from the chain, which is why 85.4 %
+// of NSEC3 TLDs set it (Item 5) while small zones should not (Item 4) —
+// the flag trades a smaller zone for weaker denial (covered, not matched,
+// names below the opted-out spans).
+#include <chrono>
+#include <cstdio>
+
+#include "crypto/cost_meter.hpp"
+#include "dns/dnssec.hpp"
+#include "zone/signer.hpp"
+#include "zone/zone.hpp"
+
+using namespace zh;
+
+namespace {
+
+/// A TLD-shaped zone: `delegations` children, `signed_fraction` with DS.
+zone::Zone tld_zone(std::size_t delegations, double signed_fraction) {
+  zone::Zone z(dns::Name::must_parse("tld"));
+  z.add(dns::make_soa(z.apex(), 86400, dns::Name::must_parse("ns1.tld"), 1));
+  z.add(dns::make_ns(z.apex(), 86400, dns::Name::must_parse("ns1.tld")));
+  z.add(dns::make_a(dns::Name::must_parse("ns1.tld"), 86400, 10, 0, 0, 53));
+  const std::size_t signed_count =
+      static_cast<std::size_t>(delegations * signed_fraction);
+  for (std::size_t i = 0; i < delegations; ++i) {
+    const dns::Name child =
+        *z.apex().prepended("domain" + std::to_string(i));
+    z.add(dns::make_ns(child, 86400, dns::Name::must_parse("ns.hoster.tld")));
+    if (i < signed_count) {
+      dns::DsRdata ds;
+      ds.key_tag = static_cast<std::uint16_t>(i);
+      ds.algorithm = 253;
+      ds.digest.assign(32, static_cast<std::uint8_t>(i));
+      z.add(dns::ResourceRecord::make(child, dns::RrType::kDs, 86400, ds));
+    }
+  }
+  return z;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Opt-out ablation: TLD-shaped zones, 9 %% of delegations "
+              "signed (the com-like regime)\n\n");
+  std::printf("%12s %9s | %12s %12s %10s | %12s %12s %10s\n", "delegations",
+              "opt-out", "chain len", "SHA-1 blks", "sign ms", "chain len",
+              "SHA-1 blks", "sign ms");
+  std::printf("%46s | %36s\n", "(opt-out on)", "(opt-out off)");
+  std::printf("%s\n", std::string(104, '-').c_str());
+
+  for (const std::size_t delegations : {1000u, 10000u, 50000u}) {
+    struct Run {
+      std::size_t chain = 0;
+      std::uint64_t blocks = 0;
+      double ms = 0;
+    };
+    Run runs[2];
+    for (int opt_out = 1; opt_out >= 0; --opt_out) {
+      zone::Zone z = tld_zone(delegations, 0.09);
+      zone::SignerConfig config;
+      config.nsec3.opt_out = opt_out == 1;
+      crypto::CostMeter::reset();
+      const auto start = std::chrono::steady_clock::now();
+      zone::sign_zone(z, config);
+      runs[opt_out].ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+      runs[opt_out].blocks = crypto::CostMeter::sha1_blocks();
+      runs[opt_out].chain = z.nsec3_entries().size();
+    }
+    std::printf("%12zu %9s | %12zu %12llu %9.0fms | %12zu %12llu %9.0fms\n",
+                delegations, "", runs[1].chain,
+                static_cast<unsigned long long>(runs[1].blocks), runs[1].ms,
+                runs[0].chain,
+                static_cast<unsigned long long>(runs[0].blocks), runs[0].ms);
+  }
+
+  std::printf(
+      "\nAt com scale (~160 M delegations, a few %% signed), opt-out shrinks "
+      "the chain by an\norder of magnitude — the one NSEC3 feature NSEC "
+      "cannot replace, and the reason the\npaper finds 85.4 %% of NSEC3 "
+      "TLDs setting the flag (Item 5) while only 6.4 %% of\nregistered "
+      "domains do (Item 4).\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Shared setup for the reproduction benches: builds the simulated Internet
+// + synthetic population at a configurable scale.
+//
+// Environment knobs:
+//   ZH_SCALE           population scale (default 0.001 = 1:1000 of 302 M)
+//   ZH_RESOLVER_SCALE  resolver-population scale (default 0.01 = 1:100)
+//   ZH_SEED            generator seed (default 42)
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "scanner/campaign.hpp"
+#include "testbed/internet.hpp"
+#include "workload/install.hpp"
+#include "workload/resolver_population.hpp"
+
+namespace zh::bench {
+
+inline double env_double(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value ? std::atof(value) : fallback;
+}
+
+inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  return value ? static_cast<std::uint64_t>(std::atoll(value)) : fallback;
+}
+
+/// A fully built world: internet + population spec + probe zones + the
+/// measurement resolver (Cloudflare profile, as the paper used 1.1.1.1).
+struct World {
+  std::unique_ptr<workload::EcosystemSpec> spec;
+  std::unique_ptr<testbed::Internet> internet;
+  std::vector<testbed::ProbeZone> probe_zones;
+  std::unique_ptr<resolver::RecursiveResolver> scan_resolver;
+  double scale = 0.001;
+};
+
+inline World build_world(bool with_domains = true) {
+  World world;
+  world.scale = env_double("ZH_SCALE", 0.001);
+  const std::uint64_t seed = env_u64("ZH_SEED", 42);
+
+  const auto start = std::chrono::steady_clock::now();
+  world.spec = std::make_unique<workload::EcosystemSpec>(
+      workload::EcosystemSpec::Options{.scale = world.scale, .seed = seed});
+  world.internet = std::make_unique<testbed::Internet>();
+  world.probe_zones = testbed::add_probe_infrastructure(*world.internet);
+  if (with_domains) {
+    workload::install_ecosystem(*world.internet, *world.spec);
+  }
+  world.internet->build();
+  world.scan_resolver = world.internet->make_resolver(
+      resolver::ResolverProfile::cloudflare(),
+      simnet::IpAddress::v4(1, 1, 1, 1));
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::printf(
+      "# world: scale=%g (%zu domains, %zu TLDs, %zu operators) built in "
+      "%.1fs\n",
+      world.scale, with_domains ? world.spec->domain_count() : 0,
+      world.spec->tlds().size(), world.spec->operators().size(), secs);
+  return world;
+}
+
+}  // namespace zh::bench

@@ -1,0 +1,85 @@
+// CVE-2023-50868 cost study — resolver-side hash work for validating NSEC3
+// denial proofs as a function of the zone's additional-iteration count and
+// salt length. Reproduces the shape of Gruza et al. (WOOT'24): the paper
+// cites up to a 72× CPU-instruction amplification; here the proportional
+// quantity is SHA-1 compression-function invocations, metered inside the
+// resolver only (authoritative-side work is excluded by the network's
+// receiver accounting).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace zh;
+  auto world = bench::build_world(/*with_domains=*/false);
+
+  // A permissive validator — no RFC 9276 limit below the RFC 5155 ceiling —
+  // is the vulnerable configuration.
+  auto vulnerable = world.internet->make_resolver(
+      resolver::ResolverProfile::permissive(),
+      simnet::IpAddress::v4(203, 0, 113, 233));
+  // A patched validator (limit 50) and a SERVFAIL-at-150 one for contrast.
+  auto patched = world.internet->make_resolver(
+      resolver::ResolverProfile::bind9_2023(),
+      simnet::IpAddress::v4(203, 0, 113, 234));
+  auto strict = world.internet->make_resolver(
+      resolver::ResolverProfile::cloudflare(),
+      simnet::IpAddress::v4(203, 0, 113, 235));
+
+  std::printf("\nResolver-side SHA-1 blocks per NXDOMAIN validation "
+              "(one closest-encloser proof)\n");
+  std::printf("%8s %14s %14s %14s %16s\n", "add.it.", "permissive",
+              "patched@50", "servfail@150", "amplification");
+
+  std::uint64_t baseline = 0;
+  int token = 0;
+  for (const std::uint16_t n :
+       {0, 1, 5, 10, 25, 50, 100, 150, 200, 300, 400, 500}) {
+    const std::string label = n == 0 ? "valid" : "it-" + std::to_string(n);
+    const dns::Name qname = dns::Name::must_parse(
+        "c" + std::to_string(token++) + ".nx." + label +
+        ".rfc9276-in-the-wild.com");
+
+    (void)vulnerable->resolve(qname, dns::RrType::kA);
+    const std::uint64_t cost_vulnerable =
+        vulnerable->stats().last_query_sha1_blocks;
+    (void)patched->resolve(qname, dns::RrType::kA);
+    const std::uint64_t cost_patched = patched->stats().last_query_sha1_blocks;
+    (void)strict->resolve(qname, dns::RrType::kA);
+    const std::uint64_t cost_strict = strict->stats().last_query_sha1_blocks;
+
+    if (n == 0) baseline = cost_vulnerable ? cost_vulnerable : 1;
+    std::printf("%8u %14llu %14llu %14llu %15.1fx\n", n,
+                static_cast<unsigned long long>(cost_vulnerable),
+                static_cast<unsigned long long>(cost_patched),
+                static_cast<unsigned long long>(cost_strict),
+                static_cast<double>(cost_vulnerable) /
+                    static_cast<double>(baseline));
+  }
+
+  std::printf(
+      "\nPaper/Gruza et al. shape: validation work grows linearly with the "
+      "iteration count\n(up to 72x CPU instructions at high counts); "
+      "limit-enforcing resolvers stay flat\nonce the limit trips — the "
+      "motivation for RFC 9276's zero-iterations rule.\n");
+
+  // Salt-length sweep at a fixed iteration count: salt bytes lengthen every
+  // SHA-1 message, adding blocks per iteration.
+  std::printf("\nEffect of salt length (zone it-25, resolver-side blocks "
+              "per validation):\n");
+  std::printf("  (the probe zones are saltless; the numbers below are "
+              "computed directly)\n");
+  std::printf("%12s %16s\n", "salt bytes", "SHA-1 blocks");
+  const auto owner =
+      dns::Name::must_parse("a-rather-long-probe-name.example.com");
+  for (const std::size_t salt_len : {0u, 8u, 16u, 32u, 44u, 64u, 128u}) {
+    const std::vector<std::uint8_t> salt(salt_len, 0xab);
+    crypto::CostMeter::reset();
+    (void)dns::nsec3_hash_name(
+        owner, std::span<const std::uint8_t>(salt.data(), salt.size()), 25);
+    std::printf("%12zu %16llu\n", salt_len,
+                static_cast<unsigned long long>(
+                    crypto::CostMeter::sha1_blocks()));
+  }
+  return 0;
+}

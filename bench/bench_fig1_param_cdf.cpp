@@ -1,0 +1,82 @@
+// Figure 1 — CDF of the salt length and the number of additional iterations
+// for all NSEC3-enabled domains (§5.1).
+//
+// Runs the full §4.1 scanning pipeline over the synthetic population through
+// the simulated Cloudflare resolver, then prints the two CDFs and the
+// paper-vs-measured anchor points.
+#include <chrono>
+
+#include "analysis/export.hpp"
+#include "analysis/stats.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace zh;
+  auto world = bench::build_world();
+
+  const auto start = std::chrono::steady_clock::now();
+  scanner::DomainCampaign campaign(*world.internet, *world.spec,
+                                   world.scan_resolver->address());
+  campaign.run();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  const auto& stats = campaign.stats();
+  std::printf("# scanned %llu domains (%llu DNS queries) in %.1fs\n",
+              static_cast<unsigned long long>(stats.scanned),
+              static_cast<unsigned long long>(campaign.queries_issued()),
+              secs);
+
+  analysis::print_ascii_cdf("Figure 1a: CDF of additional iterations "
+                            "(NSEC3-enabled domains), x in [0,50]",
+                            stats.iterations, 50);
+  analysis::print_ascii_cdf(
+      "Figure 1b: CDF of salt length in bytes (NSEC3-enabled domains), "
+      "x in [0,50]",
+      stats.salt_len, 50);
+
+  const auto& it = stats.iterations;
+  const auto& salt = stats.salt_len;
+  analysis::print_comparison(
+      "Figure 1 anchor points (paper vs measured)",
+      {
+          {"P(iterations = 0)", "12.2 %",
+           analysis::format_percent(it.fraction_at_most(0))},
+          {"P(iterations <= 25)", "99.9 %",
+           analysis::format_percent(it.fraction_at_most(25), 2)},
+          {"max iterations", "500", std::to_string(it.max())},
+          {"domains > 150 iterations", "43",
+           std::to_string(it.count_above(150))},
+          {"domains at 500 iterations", "12",
+           std::to_string(it.count_of(500))},
+          {"P(no salt)", "8.6 %",
+           analysis::format_percent(salt.fraction_at_most(0))},
+          {"P(salt <= 10 B)", "97.2 %",
+           analysis::format_percent(salt.fraction_at_most(10))},
+          {"domains with salt > 45 B", "170",
+           std::to_string(salt.count_above(45))},
+          {"domains with 160 B salt", "9",
+           std::to_string(salt.count_of(160))},
+      });
+  std::printf(
+      "\nNote: the >150-iteration and >45-B-salt tails are planted with the "
+      "paper's absolute counts\n(DESIGN.md §1), so their CDF weight grows as "
+      "the population scale shrinks.\n");
+
+  // Optional plottable artefacts.
+  if (const char* dir = std::getenv("ZH_OUTPUT_DIR")) {
+    const bool ok =
+        analysis::write_file(dir, "fig1_iterations_cdf.csv",
+                             analysis::ecdf_to_csv(stats.iterations,
+                                                   "additional_iterations")) &&
+        analysis::write_file(dir, "fig1_salt_cdf.csv",
+                             analysis::ecdf_to_csv(stats.salt_len,
+                                                   "salt_bytes")) &&
+        analysis::write_file(dir, "table2_operators.csv",
+                             analysis::freq_to_csv(stats.operators,
+                                                   "operator"));
+    std::printf("# CSV artefacts %s to %s\n", ok ? "written" : "FAILED", dir);
+  }
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Micro-benchmarks (google-benchmark): NSEC3 hashing — the primitive whose
+// cost RFC 9276 regulates — across iteration counts and salt lengths, plus
+// the signing/validation hot paths.
+#include <benchmark/benchmark.h>
+
+#include "crypto/nsec3_hash.hpp"
+#include "crypto/sha1.hpp"
+#include "crypto/sha2.hpp"
+#include "dns/dnssec.hpp"
+#include "zone/signer.hpp"
+#include "zone/zone.hpp"
+
+namespace {
+
+using zh::dns::Name;
+
+void BM_Sha1Block(benchmark::State& state) {
+  const std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)),
+                                       0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        zh::crypto::Sha1::hash(std::span<const std::uint8_t>(data)));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha1Block)->Arg(20)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_Sha256Block(benchmark::State& state) {
+  const std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)),
+                                       0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        zh::crypto::Sha256::hash(std::span<const std::uint8_t>(data)));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256Block)->Arg(64)->Arg(1024);
+
+/// The headline micro: one NSEC3 hash at N additional iterations.
+void BM_Nsec3Hash_Iterations(benchmark::State& state) {
+  const auto owner = Name::must_parse("www.example.com").to_canonical_wire();
+  const std::uint16_t iterations =
+      static_cast<std::uint16_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zh::crypto::nsec3_hash(
+        std::span<const std::uint8_t>(owner.data(), owner.size()), {},
+        iterations));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Nsec3Hash_Iterations)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(10)
+    ->Arg(50)
+    ->Arg(100)
+    ->Arg(150)
+    ->Arg(500)
+    ->Arg(2500);
+
+void BM_Nsec3Hash_SaltLength(benchmark::State& state) {
+  const auto owner = Name::must_parse("www.example.com").to_canonical_wire();
+  const std::vector<std::uint8_t> salt(
+      static_cast<std::size_t>(state.range(0)), 0x5a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zh::crypto::nsec3_hash(
+        std::span<const std::uint8_t>(owner.data(), owner.size()),
+        std::span<const std::uint8_t>(salt.data(), salt.size()), 10));
+  }
+}
+BENCHMARK(BM_Nsec3Hash_SaltLength)->Arg(0)->Arg(8)->Arg(40)->Arg(160);
+
+/// Zone signing cost by iteration count (authoritative-side view of Item 2).
+void BM_SignZone(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    zh::zone::Zone zone(Name::must_parse("example.com"));
+    zone.add(zh::dns::make_soa(zone.apex(), 3600,
+                               Name::must_parse("ns1.example.com"), 1));
+    zone.add(zh::dns::make_ns(zone.apex(), 3600,
+                              Name::must_parse("ns1.example.com")));
+    for (int i = 0; i < 20; ++i) {
+      zone.add(zh::dns::make_a(
+          *zone.apex().prepended("host" + std::to_string(i)), 300, 192, 0, 2,
+          static_cast<std::uint8_t>(i)));
+    }
+    zh::zone::SignerConfig config;
+    config.nsec3.iterations = static_cast<std::uint16_t>(state.range(0));
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(zh::zone::sign_zone(zone, config));
+  }
+}
+BENCHMARK(BM_SignZone)->Arg(0)->Arg(1)->Arg(100)->Arg(500);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Table 2 — the 10 most frequent authoritative name-server operators, the
+// number of NSEC3-enabled domains they exclusively serve, and their
+// parameter mixes, as recovered by the NS-record aggregation of §5.1.
+#include "analysis/stats.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+struct PaperRow {
+  const char* operator_name;
+  const char* share;
+  const char* params;
+};
+
+constexpr PaperRow kPaperTable2[] = {
+    {"squarespace", "39.4 %", "1/8"},
+    {"one-com", "9.5 %", "5/5, 5/4, 1/2, 1/4"},
+    {"ovhcloud", "8.4 %", "8/8"},
+    {"wix", "5.0 %", "1/8"},
+    {"transip", "4.2 %", "0/8, 100/8"},
+    {"loopia", "3.6 %", "1/1"},
+    {"domainnameshop", "2.7 %", "0/0"},
+    {"timeweb", "2.1 %", "3/0"},
+    {"hostnet", "1.5 %", "1/4, 0/0"},
+    {"hostpoint", "1.3 %", "1/40"},
+};
+
+}  // namespace
+
+int main() {
+  using namespace zh;
+  auto world = bench::build_world();
+
+  scanner::DomainCampaign campaign(*world.internet, *world.spec,
+                                   world.scan_resolver->address());
+  campaign.run();
+  const auto& stats = campaign.stats();
+
+  std::printf("\nTable 2 — top name-server operators of NSEC3-enabled "
+              "domains (measured)\n");
+  std::printf("%-24s %12s %8s   %s\n", "operator (NS domain)", "# domains",
+              "share", "parameter mix (iter/salt-B : share)");
+  std::printf("%s\n", std::string(96, '-').c_str());
+
+  double top10 = 0.0;
+  for (const auto& [op, count] : stats.operators.top(10)) {
+    std::string mix;
+    const auto it = stats.operator_params.find(op);
+    if (it != stats.operator_params.end()) {
+      for (const auto& [params, n] : it->second.top(4)) {
+        if (!mix.empty()) mix += ", ";
+        mix += params + " : " +
+               analysis::format_percent(it->second.share(params), 1);
+      }
+    }
+    const double share = stats.operators.share(op);
+    top10 += share;
+    std::printf("%-24s %12llu %8s   %s\n", op.c_str(),
+                static_cast<unsigned long long>(count),
+                analysis::format_percent(share).c_str(), mix.c_str());
+  }
+  std::printf("%s\n", std::string(96, '-').c_str());
+  std::printf("top-10 operators exclusively serve: measured %s, paper "
+              "77.7 %%\n",
+              analysis::format_percent(top10).c_str());
+
+  std::printf("\nPaper Table 2 for comparison:\n");
+  for (const auto& row : kPaperTable2)
+    std::printf("%-24s %8s   %s\n", row.operator_name, row.share, row.params);
+  std::printf(
+      "\nNote: measured operator identities are the registered domains of "
+      "the NS names\n(<operator>.net in the synthetic ecosystem).\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Example: CVE-2023-50868 demonstrated end to end.
+//
+//   $ ./cve_demo
+//
+// A malicious zone signs itself with the maximum iteration count a
+// validator might still process, then a burst of NXDOMAIN queries forces
+// the resolver to perform closest-encloser proofs — each hashing several
+// candidate names at (iterations+1) SHA-1 applications. The demo compares
+// a vulnerable (no-limit) resolver with a CVE-patched one and prints the
+// amplification, reproducing the attack the paper's §1/§3 cites from
+// Gruza et al. (WOOT'24).
+#include <cstdio>
+
+#include "testbed/internet.hpp"
+
+using namespace zh;
+
+int main() {
+  testbed::Internet internet;
+  internet.add_tld("com", testbed::TldConfig{});
+
+  // The attacker's zone: deep names + high iterations maximise per-query
+  // validation work. 2500 is the largest RFC 5155 ceiling any validator
+  // accepts.
+  testbed::DomainConfig attack;
+  attack.apex = dns::Name::must_parse("attacker.com");
+  attack.nsec3 = {.iterations = 2500, .salt = std::vector<std::uint8_t>(44, 0xff),
+                  .opt_out = false};
+  internet.add_domain(attack);
+
+  // A benign, RFC 9276-compliant zone for the baseline.
+  testbed::DomainConfig benign;
+  benign.apex = dns::Name::must_parse("benign.com");
+  benign.nsec3 = {.iterations = 0, .salt = {}, .opt_out = false};
+  internet.add_domain(benign);
+
+  internet.build();
+
+  auto vulnerable = internet.make_resolver(
+      resolver::ResolverProfile::permissive(),
+      simnet::IpAddress::v4(203, 0, 113, 1));
+  auto patched = internet.make_resolver(
+      resolver::ResolverProfile::bind9_2023(),  // CVE patch: limit 50
+      simnet::IpAddress::v4(203, 0, 113, 2));
+
+  const auto attack_query = [&](resolver::RecursiveResolver& r, int i) {
+    // Deep labels multiply the closest-encloser candidates to hash.
+    const dns::Name qname = dns::Name::must_parse(
+        "a.b.c.d.e.f.g.h" + std::to_string(i) + ".attacker.com");
+    return r.resolve(qname, dns::RrType::kA);
+  };
+
+  // Baseline: one benign NXDOMAIN.
+  (void)vulnerable->resolve(dns::Name::must_parse("nope.benign.com"),
+                            dns::RrType::kA);
+  const std::uint64_t baseline = vulnerable->stats().last_query_sha1_blocks;
+  std::printf("baseline (benign.com, 0 iterations): %llu SHA-1 blocks per "
+              "NXDOMAIN validation\n",
+              static_cast<unsigned long long>(baseline));
+
+  // The attack burst.
+  std::uint64_t vulnerable_total = 0, patched_total = 0;
+  constexpr int kQueries = 10;
+  for (int i = 0; i < kQueries; ++i) {
+    const auto response = attack_query(*vulnerable, i);
+    vulnerable_total += vulnerable->stats().last_query_sha1_blocks;
+    if (i == 0)
+      std::printf("vulnerable resolver answer: %s\n",
+                  response.summary().c_str());
+  }
+  for (int i = 0; i < kQueries; ++i) {
+    const auto response = attack_query(*patched, i);
+    patched_total += patched->stats().last_query_sha1_blocks;
+    if (i == 0)
+      std::printf("patched resolver answer:    %s\n",
+                  response.summary().c_str());
+  }
+
+  const double per_query_vulnerable =
+      static_cast<double>(vulnerable_total) / kQueries;
+  const double per_query_patched =
+      static_cast<double>(patched_total) / kQueries;
+  std::printf("\n%d attack queries (2500 iterations, 44-byte salt, deep "
+              "names):\n", kQueries);
+  std::printf("  vulnerable (no limit) : %10.0f SHA-1 blocks/query  "
+              "(%.0fx over baseline)\n",
+              per_query_vulnerable, per_query_vulnerable /
+                  static_cast<double>(baseline ? baseline : 1));
+  std::printf("  patched (limit 50)    : %10.0f SHA-1 blocks/query  "
+              "(%.1fx over baseline)\n",
+              per_query_patched, per_query_patched /
+                  static_cast<double>(baseline ? baseline : 1));
+  std::printf(
+      "\nGruza et al. measured up to 72x CPU-instruction amplification on "
+      "real resolvers;\nthe patched resolver validates the NSEC3 RRSIG "
+      "(Item 7) and then refuses the hash work.\n");
+  return 0;
+}

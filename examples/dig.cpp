@@ -1,0 +1,129 @@
+// Example: a dig-style CLI against the simulated Internet.
+//
+//   $ ./dig <qname> [qtype] [profile] [+cd]
+//   $ ./dig x.nx.it-200.rfc9276-in-the-wild.com A cloudflare
+//   $ ./dig it-17.rfc9276-in-the-wild.com NSEC3PARAM
+//   $ ./dig d300.com DNSKEY google +cd
+//
+// Builds the probe infrastructure plus a small synthetic population, then
+// issues the query through the chosen resolver profile and pretty-prints
+// the response dig-style (flags, EDE, answer/authority sections).
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "workload/install.hpp"
+
+using namespace zh;
+
+namespace {
+
+dns::RrType parse_type(const std::string& text) {
+  if (text == "A") return dns::RrType::kA;
+  if (text == "AAAA") return dns::RrType::kAaaa;
+  if (text == "NS") return dns::RrType::kNs;
+  if (text == "SOA") return dns::RrType::kSoa;
+  if (text == "TXT") return dns::RrType::kTxt;
+  if (text == "MX") return dns::RrType::kMx;
+  if (text == "CNAME") return dns::RrType::kCname;
+  if (text == "DNSKEY") return dns::RrType::kDnskey;
+  if (text == "DS") return dns::RrType::kDs;
+  if (text == "RRSIG") return dns::RrType::kRrsig;
+  if (text == "NSEC") return dns::RrType::kNsec;
+  if (text == "NSEC3") return dns::RrType::kNsec3;
+  if (text == "NSEC3PARAM") return dns::RrType::kNsec3Param;
+  return dns::RrType::kA;
+}
+
+resolver::ResolverProfile parse_profile(const std::string& text) {
+  using P = resolver::ResolverProfile;
+  if (text == "bind9" || text == "bind9-2021") return P::bind9_2021();
+  if (text == "bind9-2023") return P::bind9_2023();
+  if (text == "unbound") return P::unbound();
+  if (text == "knot") return P::knot_2023();
+  if (text == "google") return P::google_public_dns();
+  if (text == "cloudflare") return P::cloudflare();
+  if (text == "quad9") return P::quad9();
+  if (text == "opendns") return P::opendns();
+  if (text == "technitium") return P::technitium();
+  if (text == "strict") return P::strict_zero();
+  if (text == "permissive") return P::permissive();
+  if (text == "plain") return P::non_validating();
+  return P::bind9_2021();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <qname> [qtype] [profile] [+cd]\n"
+                 "profiles: bind9 bind9-2023 unbound knot google cloudflare "
+                 "quad9 opendns technitium strict permissive plain\n",
+                 argv[0]);
+    return 2;
+  }
+  const auto qname = dns::Name::parse(argv[1]);
+  if (!qname) {
+    std::fprintf(stderr, "invalid name: %s\n", argv[1]);
+    return 2;
+  }
+  const dns::RrType qtype = parse_type(argc > 2 ? argv[2] : "A");
+  const auto profile = parse_profile(argc > 3 ? argv[3] : "bind9");
+  bool cd = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "+cd") == 0) cd = true;
+
+  // A compact world: the probe zones plus a 1:50000 population.
+  workload::EcosystemSpec spec({.scale = 0.00002, .seed = 42});
+  testbed::Internet internet;
+  testbed::add_probe_infrastructure(internet);
+  workload::install_ecosystem(internet, spec);
+  internet.build();
+
+  auto resolver =
+      internet.make_resolver(profile, simnet::IpAddress::v4(203, 0, 113, 1));
+
+  dns::Message query = dns::Message::make_query(42, *qname, qtype,
+                                                /*dnssec_ok=*/true);
+  query.header.cd = cd;
+  const dns::Message response =
+      resolver->handle(query, simnet::IpAddress::v4(203, 0, 113, 2));
+
+  std::printf(";; using profile %s%s\n", profile.name.c_str(),
+              cd ? " (+cd)" : "");
+  std::printf(";; ->>HEADER<<- rcode: %s, id: %u\n",
+              dns::to_string(response.header.rcode).c_str(),
+              response.header.id);
+  std::string flags = "qr";
+  if (response.header.aa) flags += " aa";
+  if (response.header.rd) flags += " rd";
+  if (response.header.ra) flags += " ra";
+  if (response.header.ad) flags += " ad";
+  if (response.header.cd) flags += " cd";
+  std::printf(";; flags: %s; ANSWER: %zu, AUTHORITY: %zu\n", flags.c_str(),
+              response.answers.size(), response.authorities.size());
+  if (response.edns) {
+    if (const auto ede = response.edns->ede()) {
+      std::printf(";; EDE: %u (%s)%s%s\n",
+                  static_cast<unsigned>(ede->info_code),
+                  dns::to_string(ede->info_code).c_str(),
+                  ede->extra_text.empty() ? "" : ": ",
+                  ede->extra_text.c_str());
+    }
+  }
+  if (!response.answers.empty()) {
+    std::printf("\n;; ANSWER SECTION:\n");
+    for (const auto& rr : response.answers)
+      std::printf("%s\n", rr.to_string().c_str());
+  }
+  if (!response.authorities.empty()) {
+    std::printf("\n;; AUTHORITY SECTION:\n");
+    for (const auto& rr : response.authorities)
+      std::printf("%s\n", rr.to_string().c_str());
+  }
+  std::printf("\n;; resolver spent %llu SHA-1 blocks validating this query\n",
+              static_cast<unsigned long long>(
+                  resolver->stats().last_query_sha1_blocks));
+  return 0;
+}

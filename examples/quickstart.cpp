@@ -1,0 +1,81 @@
+// Quickstart: build a signed zone, serve it, resolve and validate against
+// it — the whole library in ~100 lines.
+//
+//   $ ./quickstart
+//
+// Walks through: (1) authoring + NSEC3-signing a zone, (2) hosting it on a
+// simulated authoritative server, (3) validating resolution including an
+// NXDOMAIN with its closest-encloser proof, and (4) what happens when the
+// zone ignores RFC 9276 and a resolver enforces an iteration limit.
+#include <cstdio>
+
+#include "testbed/internet.hpp"
+
+using namespace zh;
+
+int main() {
+  // 1. A simulated Internet: root + .com, with example.com signed using
+  //    RFC 9276-compliant parameters (0 iterations, no salt)...
+  testbed::Internet internet;
+  internet.add_tld("com", testbed::TldConfig{});
+
+  testbed::DomainConfig good;
+  good.apex = dns::Name::must_parse("example.com");
+  good.nsec3 = {.iterations = 0, .salt = {}, .opt_out = false};
+  internet.add_domain(good);
+
+  //    ...and bad-idea.com signed with 200 additional iterations — the
+  //    configuration the paper shows 87.8 % of NSEC3 domains approximate.
+  testbed::DomainConfig bad;
+  bad.apex = dns::Name::must_parse("bad-idea.com");
+  bad.nsec3 = {.iterations = 200, .salt = {0xaa, 0xbb}, .opt_out = false};
+  internet.add_domain(bad);
+
+  internet.build();
+
+  // 2. Peek at the signed zone: the NSEC3 chain is part of the zone object.
+  const auto zone = internet.zone(good.apex);
+  std::printf("example.com zone has %zu records; NSEC3 chain length %zu\n",
+              zone->record_count(), zone->nsec3_entries().size());
+  const auto param = zone->nsec3param();
+  std::printf("NSEC3PARAM: algorithm=%u iterations=%u salt=%zuB  "
+              "(RFC 9276 compliant: %s)\n",
+              param->hash_algorithm, param->iterations, param->salt.size(),
+              zone->nsec3_params_used()->rfc9276_compliant() ? "yes" : "no");
+
+  // 3. A validating resolver (BIND 9.16-era profile: insecure above 150).
+  auto resolver = internet.make_resolver(
+      resolver::ResolverProfile::bind9_2021(),
+      simnet::IpAddress::v4(203, 0, 113, 1));
+
+  const auto show = [](const char* what, const dns::Message& response) {
+    std::printf("%-46s -> %s\n", what, response.summary().c_str());
+  };
+
+  show("A www.example.com (positive, validated)",
+       resolver->resolve(dns::Name::must_parse("www.example.com"),
+                         dns::RrType::kA));
+  show("A nope.example.com (NXDOMAIN, proof validated)",
+       resolver->resolve(dns::Name::must_parse("nope.example.com"),
+                         dns::RrType::kA));
+  std::printf("  (the AD flag above means the NSEC3 closest-encloser proof "
+              "verified)\n");
+
+  // 4. The same queries against the 200-iteration zone: the resolver's
+  //    RFC 9276 Item 6 limit downgrades the answer to insecure.
+  show("A nope.bad-idea.com (200 iterations > limit 150)",
+       resolver->resolve(dns::Name::must_parse("nope.bad-idea.com"),
+                         dns::RrType::kA));
+  std::printf("  (NXDOMAIN without AD: the resolver refused to spend "
+              "201 hashes per candidate name)\n");
+
+  // 5. A strict resolver (Cloudflare profile) SERVFAILs instead (Item 8) —
+  //    for zones like this, 18.4 %% of validators made them unreachable.
+  auto strict = internet.make_resolver(
+      resolver::ResolverProfile::cloudflare(),
+      simnet::IpAddress::v4(203, 0, 113, 2));
+  show("same query via a SERVFAIL-at-150 resolver",
+       strict->resolve(dns::Name::must_parse("nope2.bad-idea.com"),
+                       dns::RrType::kA));
+  return 0;
+}

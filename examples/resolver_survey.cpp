@@ -1,0 +1,70 @@
+// Example: a miniature §4.2 resolver survey.
+//
+//   $ ./resolver_survey
+//
+// Stands up the rfc9276-in-the-wild.com probe infrastructure (valid,
+// expired, it-1…it-500, it-2501-expired), instantiates one resolver per
+// vendor profile, probes each, and prints the inferred behaviour — the
+// per-resolver view behind Figure 3.
+#include <cstdio>
+
+#include "scanner/resolver_prober.hpp"
+#include "testbed/internet.hpp"
+
+using namespace zh;
+
+int main() {
+  testbed::Internet internet;
+  const auto probe_zones = testbed::add_probe_infrastructure(internet);
+  internet.build();
+
+  using resolver::ResolverProfile;
+  const ResolverProfile profiles[] = {
+      ResolverProfile::bind9_2021(),   ResolverProfile::bind9_2023(),
+      ResolverProfile::unbound(),      ResolverProfile::knot_2023(),
+      ResolverProfile::google_public_dns(), ResolverProfile::cloudflare(),
+      ResolverProfile::quad9(),        ResolverProfile::opendns(),
+      ResolverProfile::technitium(),   ResolverProfile::strict_zero(),
+      ResolverProfile::permissive(),   ResolverProfile::item7_violator(),
+      ResolverProfile::item12_gap(),   ResolverProfile::non_validating(),
+  };
+
+  scanner::ResolverProber prober(internet.network(),
+                                 simnet::IpAddress::v4(203, 0, 113, 100),
+                                 probe_zones);
+
+  std::printf("%-22s %-10s %-14s %-14s %-8s %-8s %s\n", "profile",
+              "validator", "insecure-limit", "servfail-limit", "item7",
+              "item12", "EDE on limit");
+  std::printf("%s\n", std::string(96, '-').c_str());
+
+  std::uint8_t index = 10;
+  int token = 0;
+  for (const auto& profile : profiles) {
+    auto r = internet.make_resolver(profile,
+                                    simnet::IpAddress::v4(203, 0, 113, index++));
+    const auto result =
+        prober.probe(r->address(), "survey-" + std::to_string(token++));
+
+    const auto limit_text = [](const std::optional<std::uint16_t>& limit) {
+      return limit ? std::to_string(*limit) : std::string("-");
+    };
+    std::string ede = "-";
+    if (result.limit_ede)
+      ede = std::to_string(static_cast<int>(*result.limit_ede)) + " (" +
+            dns::to_string(*result.limit_ede) + ")";
+    std::printf("%-22s %-10s %-14s %-14s %-8s %-8s %s\n",
+                profile.name.c_str(), result.validator ? "yes" : "no",
+                limit_text(result.insecure_limit).c_str(),
+                limit_text(result.servfail_limit).c_str(),
+                result.item7_violation ? "VIOLATES" : "ok",
+                result.item12_gap ? "GAP" : "ok", ede.c_str());
+  }
+
+  std::printf(
+      "\nReading the table: 'insecure-limit N' = NXDOMAIN loses the AD bit "
+      "above N additional\niterations (RFC 9276 Item 6); 'servfail-limit N' "
+      "= SERVFAIL above N (Item 8); item7\nVIOLATES = accepted an expired "
+      "NSEC3 RRSIG when downgrading (it-2501-expired probe).\n");
+  return 0;
+}

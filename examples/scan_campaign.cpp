@@ -1,0 +1,95 @@
+// Example: a miniature §4.1 measurement campaign.
+//
+//   $ ./scan_campaign [domain_count]
+//
+// Builds a scaled synthetic registration ecosystem (Table 2 operators, TLD
+// census, calibrated parameter mixes), then runs the zdns-style pipeline —
+// DNSKEY → NSEC3PARAM/NS → negative probe — through a simulated Cloudflare
+// resolver, and prints per-domain scan lines plus the aggregate compliance
+// picture. This is bench_fig1/bench_s51 in miniature, with verbose output.
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/stats.hpp"
+#include "scanner/campaign.hpp"
+#include "workload/install.hpp"
+
+using namespace zh;
+
+int main(int argc, char** argv) {
+  const std::size_t show =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 25;
+
+  workload::EcosystemSpec spec({.scale = 0.00002, .seed = 42});
+  testbed::Internet internet;
+  workload::install_ecosystem(internet, spec);
+  internet.build();
+
+  auto resolver = internet.make_resolver(
+      resolver::ResolverProfile::cloudflare(),
+      simnet::IpAddress::v4(1, 1, 1, 1));
+  scanner::DomainScanner scanner(internet.network(),
+                                 simnet::IpAddress::v4(203, 0, 113, 100),
+                                 resolver->address());
+
+  std::printf("%-18s %-12s %-6s %-5s %-8s %s\n", "domain", "class", "iter",
+              "salt", "opt-out", "operator (from NS)");
+  std::printf("%s\n", std::string(76, '-').c_str());
+
+  std::size_t printed = 0;
+  for (std::size_t index = 220;  // skip the planted long-tail specials
+       index < spec.domain_count() && printed < show; ++index) {
+    const auto profile = spec.domain(index);
+    const auto result = scanner.scan(profile.apex);
+
+    const char* klass = "?";
+    switch (result.classification) {
+      case scanner::DomainScanResult::Class::kUnresponsive:
+        klass = "dead";
+        break;
+      case scanner::DomainScanResult::Class::kNoDnssec:
+        klass = "no-dnssec";
+        break;
+      case scanner::DomainScanResult::Class::kDnssecNoNsec3:
+        klass = "nsec";
+        break;
+      case scanner::DomainScanResult::Class::kNsec3Enabled:
+        klass = "nsec3";
+        break;
+      case scanner::DomainScanResult::Class::kExcluded:
+        klass = "excluded";
+        break;
+    }
+    std::string op = "-";
+    if (!result.ns_names.empty())
+      op = result.ns_names.front().ancestor_with_labels(2).to_string();
+    if (result.nsec3) {
+      std::printf("%-18s %-12s %-6u %-5zu %-8s %s\n",
+                  profile.apex.to_string().c_str(), klass,
+                  result.nsec3->iterations, result.nsec3->salt.size(),
+                  result.nsec3->opt_out ? "yes" : "no", op.c_str());
+    } else {
+      std::printf("%-18s %-12s %-6s %-5s %-8s %s\n",
+                  profile.apex.to_string().c_str(), klass, "-", "-", "-",
+                  op.c_str());
+    }
+    ++printed;
+  }
+
+  // Aggregate a quick campaign over the first 2000 domains.
+  scanner::DomainCampaign campaign(internet, spec, resolver->address());
+  campaign.run(2000);
+  const auto& stats = campaign.stats();
+  std::printf("\ncampaign over %llu domains: %llu DNSSEC, %llu NSEC3; "
+              "RFC 9276-compliant (Items 2+3): %s of NSEC3\n",
+              static_cast<unsigned long long>(stats.scanned),
+              static_cast<unsigned long long>(stats.dnssec),
+              static_cast<unsigned long long>(stats.nsec3),
+              analysis::format_percent(
+                  static_cast<double>(stats.fully_compliant) /
+                  static_cast<double>(stats.nsec3))
+                  .c_str());
+  std::printf("total DNS queries issued: %llu (4 per domain, as in §4.1)\n",
+              static_cast<unsigned long long>(campaign.queries_issued()));
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Example: why NSEC3 exists, and why its iterations are "pointless effort".
+//
+//   $ ./zone_walk
+//
+// Part 1 walks an NSEC zone — full enumeration in one query per name.
+// Part 2 attacks the same layout behind NSEC3: harvest the hash chain,
+// then crack it offline with a 30-word dictionary. The guessable names
+// fall immediately; only genuinely random labels stay hidden — at any
+// iteration count. That asymmetry is the paper's §2.3 rationale for
+// RFC 9276's "zero additional iterations".
+#include <cstdio>
+
+#include "scanner/zone_walker.hpp"
+#include "testbed/internet.hpp"
+
+using namespace zh;
+
+int main() {
+  testbed::Internet internet;
+  internet.add_tld("com", testbed::TldConfig{});
+
+  const char* labels[] = {"www", "mail", "api", "vpn", "intranet-zq7"};
+
+  testbed::DomainConfig nsec_zone;
+  nsec_zone.apex = dns::Name::must_parse("nsec-corp.com");
+  nsec_zone.denial = zone::DenialMode::kNsec;
+  nsec_zone.standard_records = false;
+  for (const char* label : labels)
+    nsec_zone.extra_records.push_back(
+        dns::make_a(*nsec_zone.apex.prepended(label), 300, 192, 0, 2, 1));
+  internet.add_domain(nsec_zone);
+
+  testbed::DomainConfig nsec3_zone;
+  nsec3_zone.apex = dns::Name::must_parse("nsec3-corp.com");
+  nsec3_zone.nsec3 = {.iterations = 10, .salt = {0x13, 0x37},
+                      .opt_out = false};
+  nsec3_zone.standard_records = false;
+  for (const char* label : labels)
+    nsec3_zone.extra_records.push_back(
+        dns::make_a(*nsec3_zone.apex.prepended(label), 300, 192, 0, 2, 2));
+  internet.add_domain(nsec3_zone);
+
+  internet.build();
+  auto resolver = internet.make_resolver(
+      resolver::ResolverProfile::non_validating(),
+      simnet::IpAddress::v4(203, 0, 113, 1));
+
+  // --- Part 1: NSEC zone walking ---
+  std::printf("== NSEC zone walking: nsec-corp.com ==\n");
+  scanner::NsecWalker walker(internet.network(),
+                             simnet::IpAddress::v4(203, 0, 113, 2),
+                             resolver->address());
+  const auto walk = walker.walk(nsec_zone.apex);
+  std::printf("enumerated %zu names with %llu queries (complete: %s):\n",
+              walk.names.size(),
+              static_cast<unsigned long long>(walk.queries),
+              walk.complete ? "yes" : "no");
+  for (const auto& name : walk.names)
+    std::printf("  %s\n", name.to_string().c_str());
+
+  // --- Part 2: NSEC3 dictionary attack ---
+  std::printf("\n== NSEC3 dictionary attack: nsec3-corp.com "
+              "(10 iterations, salted) ==\n");
+  scanner::Nsec3DictionaryAttack attack(internet.network(),
+                                        simnet::IpAddress::v4(203, 0, 113, 3),
+                                        resolver->address());
+  const auto result = attack.run(
+      nsec3_zone.apex, scanner::Nsec3DictionaryAttack::default_dictionary());
+  std::printf("harvested %zu chain hashes with %llu online queries\n",
+              result.chain_hashes,
+              static_cast<unsigned long long>(result.online_queries));
+  std::printf("offline: %llu guesses hashed (%llu SHA-1 blocks at %u "
+              "iterations)\n",
+              static_cast<unsigned long long>(result.offline_hashes),
+              static_cast<unsigned long long>(result.offline_sha1_blocks),
+              result.iterations);
+  std::printf("cracked %zu names:\n", result.cracked.size());
+  for (const auto& cracked : result.cracked)
+    std::printf("  %s\n", cracked.name.to_string().c_str());
+  std::printf("\n'intranet-zq7.nsec3-corp.com' stayed hidden — but every "
+              "guessable name fell,\nand the 10 extra iterations made the "
+              "attack only 11x slower while taxing every\nvalidator on the "
+              "Internet identically. Hence RFC 9276: zeros are heroes.\n");
+  return 0;
+}

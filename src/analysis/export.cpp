@@ -1,0 +1,114 @@
+#include "analysis/export.hpp"
+
+#include <cassert>
+#include <cstdio>
+
+namespace zh::analysis {
+namespace {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ecdf_to_csv(const Ecdf& ecdf, const std::string& value_header) {
+  std::string out = value_header + ",cumulative_fraction\n";
+  for (const auto& [value, fraction] : ecdf.curve()) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%lld,%.6f\n",
+                  static_cast<long long>(value), fraction);
+    out += buf;
+  }
+  return out;
+}
+
+std::string freq_to_csv(const FreqTable& table,
+                        const std::string& key_header) {
+  std::string out = key_header + ",count,share\n";
+  for (const auto& [key, count] : table.top(table.raw().size())) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, ",%llu,%.6f\n",
+                  static_cast<unsigned long long>(count), table.share(key));
+    out += csv_escape(key) + buf;
+  }
+  return out;
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_csv() const {
+  std::string out;
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (i) out += ',';
+    out += csv_escape(columns_[i]);
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out += ',';
+      out += csv_escape(row[i]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Table::to_json() const {
+  std::string out = "[";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    out += r ? ",\n {" : "\n {";
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+      if (i) out += ", ";
+      out += "\"" + json_escape(columns_[i]) + "\": \"" +
+             json_escape(rows_[r][i]) + "\"";
+    }
+    out += "}";
+  }
+  out += "\n]\n";
+  return out;
+}
+
+bool write_file(const std::string& directory, const std::string& filename,
+                const std::string& content) {
+  const std::string path = directory + "/" + filename;
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (!file) return false;
+  const std::size_t written =
+      std::fwrite(content.data(), 1, content.size(), file);
+  std::fclose(file);
+  return written == content.size();
+}
+
+}  // namespace zh::analysis

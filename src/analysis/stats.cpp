@@ -1,0 +1,72 @@
+#include "analysis/stats.hpp"
+
+#include <cstdio>
+
+namespace zh::analysis {
+
+std::string format_percent(double fraction, int decimals) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.*f %%", decimals, fraction * 100.0);
+  return buf;
+}
+
+std::string format_count(std::uint64_t count) {
+  char buf[32];
+  if (count >= 1000000000ull) {
+    std::snprintf(buf, sizeof buf, "%.1f B",
+                  static_cast<double>(count) / 1e9);
+  } else if (count >= 1000000ull) {
+    std::snprintf(buf, sizeof buf, "%.1f M",
+                  static_cast<double>(count) / 1e6);
+  } else if (count >= 1000ull) {
+    std::snprintf(buf, sizeof buf, "%.1f K",
+                  static_cast<double>(count) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu",
+                  static_cast<unsigned long long>(count));
+  }
+  return buf;
+}
+
+void print_comparison(const std::string& title,
+                      const std::vector<ComparisonRow>& rows) {
+  std::size_t metric_width = 6, paper_width = 5;
+  for (const auto& row : rows) {
+    metric_width = std::max(metric_width, row.metric.size());
+    paper_width = std::max(paper_width, row.paper.size());
+  }
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%-*s | %-*s | %s\n", static_cast<int>(metric_width), "metric",
+              static_cast<int>(paper_width), "paper", "measured");
+  std::printf("%s\n",
+              std::string(metric_width + paper_width + 14, '-').c_str());
+  for (const auto& row : rows) {
+    std::printf("%-*s | %-*s | %s\n", static_cast<int>(metric_width),
+                row.metric.c_str(), static_cast<int>(paper_width),
+                row.paper.c_str(), row.measured.c_str());
+  }
+}
+
+void print_ascii_cdf(const std::string& title, const Ecdf& ecdf,
+                     std::int64_t x_max, int width, int height) {
+  std::printf("\n%s (n=%llu)\n", title.c_str(),
+              static_cast<unsigned long long>(ecdf.total()));
+  if (ecdf.empty()) {
+    std::printf("  (empty)\n");
+    return;
+  }
+  for (int row = height; row >= 1; --row) {
+    const double level = static_cast<double>(row) / height;
+    std::string line;
+    for (int col = 0; col < width; ++col) {
+      const std::int64_t x = x_max * col / (width - 1);
+      line += (ecdf.fraction_at_most(x) >= level - 1e-12) ? '#' : ' ';
+    }
+    std::printf("%5.1f%% |%s\n", level * 100.0, line.c_str());
+  }
+  std::printf("       +%s\n", std::string(width, '-').c_str());
+  std::printf("        0%*lld\n", width - 1,
+              static_cast<long long>(x_max));
+}
+
+}  // namespace zh::analysis

@@ -1,0 +1,151 @@
+// Statistical primitives for the measurement analysis: empirical CDFs
+// (Figures 1 and 2), frequency tables (Table 2), and percentage helpers.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace zh::analysis {
+
+/// Empirical cumulative distribution over integer-valued observations.
+class Ecdf {
+ public:
+  void add(std::int64_t value, std::uint64_t count = 1) {
+    counts_[value] += count;
+    total_ += count;
+  }
+
+  std::uint64_t total() const noexcept { return total_; }
+  bool empty() const noexcept { return total_ == 0; }
+
+  /// P(X <= value); 0 for an empty distribution.
+  double fraction_at_most(std::int64_t value) const {
+    if (total_ == 0) return 0.0;
+    std::uint64_t acc = 0;
+    for (const auto& [v, c] : counts_) {
+      if (v > value) break;
+      acc += c;
+    }
+    return static_cast<double>(acc) / static_cast<double>(total_);
+  }
+
+  /// Smallest value v with P(X <= v) >= p (nearest-rank; p in [0,1]).
+  std::int64_t percentile(double p) const {
+    std::uint64_t threshold = static_cast<std::uint64_t>(
+        std::ceil(p * static_cast<double>(total_)));
+    if (threshold == 0) threshold = 1;
+    std::uint64_t acc = 0;
+    for (const auto& [v, c] : counts_) {
+      acc += c;
+      if (acc >= threshold) return v;
+    }
+    return counts_.empty() ? 0 : counts_.rbegin()->first;
+  }
+
+  std::int64_t max() const {
+    return counts_.empty() ? 0 : counts_.rbegin()->first;
+  }
+  std::int64_t min() const {
+    return counts_.empty() ? 0 : counts_.begin()->first;
+  }
+
+  std::uint64_t count_of(std::int64_t value) const {
+    const auto it = counts_.find(value);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  /// Observations strictly greater than `value`.
+  std::uint64_t count_above(std::int64_t value) const {
+    std::uint64_t acc = 0;
+    for (auto it = counts_.upper_bound(value); it != counts_.end(); ++it)
+      acc += it->second;
+    return acc;
+  }
+
+  /// (value, cumulative fraction) points, one per distinct value.
+  std::vector<std::pair<std::int64_t, double>> curve() const {
+    std::vector<std::pair<std::int64_t, double>> out;
+    std::uint64_t acc = 0;
+    for (const auto& [v, c] : counts_) {
+      acc += c;
+      out.emplace_back(v,
+                       static_cast<double>(acc) / static_cast<double>(total_));
+    }
+    return out;
+  }
+
+  const std::map<std::int64_t, std::uint64_t>& histogram() const noexcept {
+    return counts_;
+  }
+
+ private:
+  std::map<std::int64_t, std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Frequency table over string keys with share computation.
+class FreqTable {
+ public:
+  void add(const std::string& key, std::uint64_t count = 1) {
+    counts_[key] += count;
+    total_ += count;
+  }
+
+  std::uint64_t total() const noexcept { return total_; }
+  std::uint64_t count_of(const std::string& key) const {
+    const auto it = counts_.find(key);
+    return it == counts_.end() ? 0 : it->second;
+  }
+  double share(const std::string& key) const {
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(count_of(key)) /
+                             static_cast<double>(total_);
+  }
+
+  /// Top-n entries by count, descending (ties broken by key).
+  std::vector<std::pair<std::string, std::uint64_t>> top(std::size_t n) const {
+    std::vector<std::pair<std::string, std::uint64_t>> entries(
+        counts_.begin(), counts_.end());
+    std::sort(entries.begin(), entries.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+    if (entries.size() > n) entries.resize(n);
+    return entries;
+  }
+
+  const std::map<std::string, std::uint64_t>& raw() const noexcept {
+    return counts_;
+  }
+
+ private:
+  std::map<std::string, std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// "87.8 %"-style formatting.
+std::string format_percent(double fraction, int decimals = 1);
+
+/// Human count: 15500000 → "15.5 M", 994000 → "994.0 K".
+std::string format_count(std::uint64_t count);
+
+/// One row of a paper-vs-measured comparison.
+struct ComparisonRow {
+  std::string metric;
+  std::string paper;
+  std::string measured;
+};
+
+/// Prints an aligned comparison table to stdout.
+void print_comparison(const std::string& title,
+                      const std::vector<ComparisonRow>& rows);
+
+/// Renders an ASCII CDF plot (for figure benches).
+void print_ascii_cdf(const std::string& title, const Ecdf& ecdf,
+                     std::int64_t x_max, int width = 60, int height = 12);
+
+}  // namespace zh::analysis

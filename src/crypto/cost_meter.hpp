@@ -1,0 +1,59 @@
+// Instrumentation for hash-work accounting.
+//
+// CVE-2023-50868 ("NSEC3 closest encloser proof can exhaust CPU") inflates
+// the number of hash compression-function invocations a validating resolver
+// performs. Gruza et al. (WOOT'24) quantified the impact in CPU instruction
+// counts; instruction count is proportional to compression invocations on
+// every real implementation, so this meter is the simulation-side equivalent
+// used by bench_cve_cost and by the resolver's per-query cost reports.
+#pragma once
+
+#include <cstdint>
+
+namespace zh::crypto {
+
+/// Thread-local counters of primitive hash work performed.
+///
+/// The counters are monotonically increasing; measure a region by taking a
+/// snapshot before and after. All hash primitives in zh::crypto tick these.
+struct CostMeter {
+  /// Number of SHA-1 compression-function invocations (64-byte blocks).
+  static std::uint64_t sha1_blocks() noexcept { return tls().sha1; }
+  /// Number of SHA-256-family compression invocations (64/128-byte blocks).
+  static std::uint64_t sha2_blocks() noexcept { return tls().sha2; }
+  /// Number of complete NSEC3 hash computations (one per hashed name).
+  static std::uint64_t nsec3_hashes() noexcept { return tls().nsec3; }
+
+  static void add_sha1_blocks(std::uint64_t n) noexcept { tls().sha1 += n; }
+  static void add_sha2_blocks(std::uint64_t n) noexcept { tls().sha2 += n; }
+  static void add_nsec3_hash() noexcept { ++tls().nsec3; }
+
+  /// Resets all counters on the calling thread (test/bench convenience).
+  static void reset() noexcept { tls() = Counters{}; }
+
+ private:
+  struct Counters {
+    std::uint64_t sha1 = 0;
+    std::uint64_t sha2 = 0;
+    std::uint64_t nsec3 = 0;
+  };
+  static Counters& tls() noexcept {
+    thread_local Counters counters;
+    return counters;
+  }
+};
+
+/// RAII snapshot: measures SHA-1 block work across a scope.
+class Sha1WorkScope {
+ public:
+  Sha1WorkScope() noexcept : start_(CostMeter::sha1_blocks()) {}
+  /// Blocks hashed since construction.
+  std::uint64_t elapsed() const noexcept {
+    return CostMeter::sha1_blocks() - start_;
+  }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace zh::crypto

@@ -1,0 +1,69 @@
+// HMAC (RFC 2104) over any zh::crypto digest type.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace zh::crypto {
+
+/// Keyed-hash MAC generic over the underlying digest `H`.
+///
+/// `H` must expose kDigestSize, kBlockSize, update(), finalize(), reset()
+/// and a Digest array type, as Sha1/Sha256/... in this library do.
+template <typename H>
+class Hmac {
+ public:
+  using Digest = typename H::Digest;
+
+  explicit Hmac(std::span<const std::uint8_t> key) noexcept {
+    std::array<std::uint8_t, H::kBlockSize> k{};
+    if (key.size() > H::kBlockSize) {
+      H pre;
+      pre.update(key);
+      const auto d = pre.finalize();
+      std::copy(d.begin(), d.end(), k.begin());
+    } else {
+      std::copy(key.begin(), key.end(), k.begin());
+    }
+    std::array<std::uint8_t, H::kBlockSize> ipad;
+    for (std::size_t i = 0; i < H::kBlockSize; ++i) {
+      ipad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+      opad_[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+    }
+    inner_.update(std::span<const std::uint8_t>(ipad.data(), ipad.size()));
+  }
+
+  void update(std::span<const std::uint8_t> data) noexcept {
+    inner_.update(data);
+  }
+  void update(std::string_view data) noexcept {
+    update(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(data.data()), data.size()));
+  }
+
+  Digest finalize() noexcept {
+    const auto inner_digest = inner_.finalize();
+    H outer;
+    outer.update(std::span<const std::uint8_t>(opad_.data(), opad_.size()));
+    outer.update(std::span<const std::uint8_t>(inner_digest.data(),
+                                               inner_digest.size()));
+    return outer.finalize();
+  }
+
+  /// One-shot MAC.
+  static Digest mac(std::span<const std::uint8_t> key,
+                    std::span<const std::uint8_t> data) noexcept {
+    Hmac<H> h(key);
+    h.update(data);
+    return h.finalize();
+  }
+
+ private:
+  H inner_;
+  std::array<std::uint8_t, H::kBlockSize> opad_{};
+};
+
+}  // namespace zh::crypto

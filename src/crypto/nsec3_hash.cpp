@@ -1,0 +1,27 @@
+#include "crypto/nsec3_hash.hpp"
+
+#include "crypto/cost_meter.hpp"
+#include "crypto/sha1.hpp"
+
+namespace zh::crypto {
+
+Nsec3Digest nsec3_hash(std::span<const std::uint8_t> owner_wire,
+                       std::span<const std::uint8_t> salt,
+                       std::uint16_t iterations) noexcept {
+  CostMeter::add_nsec3_hash();
+
+  Sha1 h;
+  h.update(owner_wire);
+  h.update(salt);
+  Nsec3Digest digest = h.finalize();
+
+  for (std::uint16_t i = 0; i < iterations; ++i) {
+    h.reset();
+    h.update(std::span<const std::uint8_t>(digest.data(), digest.size()));
+    h.update(salt);
+    digest = h.finalize();
+  }
+  return digest;
+}
+
+}  // namespace zh::crypto

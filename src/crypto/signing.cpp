@@ -1,0 +1,40 @@
+#include "crypto/signing.hpp"
+
+#include <algorithm>
+
+#include "crypto/hmac.hpp"
+#include "crypto/sha2.hpp"
+
+namespace zh::crypto {
+
+SimKey SimKey::derive(std::string_view seed) {
+  SimKey key;
+  Sha256 h;
+  h.update(std::string_view{"zh-simkey-v1|"});
+  h.update(seed);
+  const auto digest = h.finalize();
+  std::copy(digest.begin(), digest.end(), key.public_key_.begin());
+  return key;
+}
+
+SimSignature SimKey::sign(std::span<const std::uint8_t> data) const noexcept {
+  return Hmac<Sha256>::mac(
+      std::span<const std::uint8_t>(public_key_.data(), public_key_.size()),
+      data);
+}
+
+bool sim_verify(const SimPublicKey& public_key,
+                std::span<const std::uint8_t> data,
+                std::span<const std::uint8_t> signature) noexcept {
+  if (signature.size() != kSimSignatureSize) return false;
+  const SimSignature expected = Hmac<Sha256>::mac(
+      std::span<const std::uint8_t>(public_key.data(), public_key.size()),
+      data);
+  // Constant-time comparison; good hygiene even in a simulation.
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < kSimSignatureSize; ++i)
+    diff = static_cast<std::uint8_t>(diff | (expected[i] ^ signature[i]));
+  return diff == 0;
+}
+
+}  // namespace zh::crypto

@@ -1,0 +1,64 @@
+// Simulated DNSSEC signature primitive.
+//
+// The paper's measurements do not depend on which public-key algorithm signs
+// RRsets — they depend on chain-of-trust *structure* (DS → DNSKEY → RRSIG),
+// signature validity windows, and NSEC3 hashing cost. We therefore use the
+// RFC 4034 private-use algorithm number 253 with a deterministic
+// HMAC-SHA-256 construction keyed by the *public* key:
+//
+//   signature = HMAC-SHA-256(public_key, signed_data)
+//
+// Inside the closed simulation this gives exactly what validation needs:
+// any bit flip in the signed data or a wrong key yields a verification
+// failure, and expired/bogus/valid states are all expressible. It is NOT
+// unforgeable against an adversary who knows the public key; DESIGN.md §1
+// documents this substitution.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace zh::crypto {
+
+/// DNSSEC algorithm numbers (subset; IANA "DNS Security Algorithm Numbers").
+enum class DnssecAlgorithm : std::uint8_t {
+  kRsaSha1 = 5,          // recognised, not implemented (real-world decoding)
+  kRsaSha256 = 8,        // recognised, not implemented
+  kEcdsaP256Sha256 = 13, // recognised, not implemented
+  kSimHmacSha256 = 253,  // PRIVATEDNS: the simulation's signing algorithm
+};
+
+constexpr std::size_t kSimSignatureSize = 32;
+constexpr std::size_t kSimPublicKeySize = 32;
+
+using SimSignature = std::array<std::uint8_t, kSimSignatureSize>;
+using SimPublicKey = std::array<std::uint8_t, kSimPublicKeySize>;
+
+/// Key material for the simulated algorithm.
+///
+/// Keys are derived deterministically from a seed string (typically
+/// "<zone>/ksk" or "<zone>/zsk") so that rebuilding the same synthetic
+/// ecosystem yields byte-identical zones.
+class SimKey {
+ public:
+  /// Derives a key from an arbitrary seed.
+  static SimKey derive(std::string_view seed);
+
+  const SimPublicKey& public_key() const noexcept { return public_key_; }
+
+  /// Signs `data`; deterministic for a given (key, data).
+  SimSignature sign(std::span<const std::uint8_t> data) const noexcept;
+
+ private:
+  SimPublicKey public_key_{};
+};
+
+/// Verifies a signature against a public key — all a validator holds.
+bool sim_verify(const SimPublicKey& public_key,
+                std::span<const std::uint8_t> data,
+                std::span<const std::uint8_t> signature) noexcept;
+
+}  // namespace zh::crypto

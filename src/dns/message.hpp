@@ -1,0 +1,112 @@
+// DNS messages (RFC 1035 §4) with EDNS(0) (RFC 6891) and Extended DNS
+// Errors (RFC 8914), plus the wire codec with name compression.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dns/name.hpp"
+#include "dns/rr.hpp"
+#include "dns/types.hpp"
+
+namespace zh::dns {
+
+/// A question-section entry.
+struct Question {
+  Name name;
+  RrType type = RrType::kA;
+  RrClass klass = RrClass::kIn;
+
+  bool operator==(const Question& other) const {
+    return name.equals(other.name) && type == other.type &&
+           klass == other.klass;
+  }
+};
+
+/// A raw EDNS option (code, opaque payload).
+struct EdnsOption {
+  static constexpr std::uint16_t kCodeEde = 15;  // RFC 8914
+
+  std::uint16_t code = 0;
+  std::vector<std::uint8_t> data;
+
+  bool operator==(const EdnsOption&) const = default;
+};
+
+/// Decoded Extended DNS Error.
+struct EdeInfo {
+  EdeCode info_code = EdeCode::kOther;
+  std::string extra_text;
+};
+
+/// EDNS(0) state carried by the OPT pseudo-record.
+struct Edns {
+  std::uint16_t udp_payload_size = 1232;
+  std::uint8_t version = 0;
+  bool do_bit = false;  // DNSSEC OK
+  std::vector<EdnsOption> options;
+
+  void add_ede(EdeCode code, std::string extra_text = {});
+  /// First EDE option, decoded; nullopt if none present or malformed.
+  std::optional<EdeInfo> ede() const;
+};
+
+/// Message header. `rcode` holds the *extended* 12-bit code; the codec
+/// splits it between the fixed header and the OPT TTL field.
+struct Header {
+  std::uint16_t id = 0;
+  bool qr = false;  // response flag
+  Opcode opcode = Opcode::kQuery;
+  bool aa = false;  // authoritative answer
+  bool tc = false;  // truncated
+  bool rd = false;  // recursion desired
+  bool ra = false;  // recursion available
+  bool ad = false;  // authentic data (DNSSEC validated)
+  bool cd = false;  // checking disabled
+  Rcode rcode = Rcode::kNoError;
+};
+
+/// A full DNS message. The OPT pseudo-record is lifted into `edns` and never
+/// appears in `additionals`.
+struct Message {
+  Header header;
+  std::vector<Question> questions;
+  std::vector<ResourceRecord> answers;
+  std::vector<ResourceRecord> authorities;
+  std::vector<ResourceRecord> additionals;
+  std::optional<Edns> edns;
+
+  /// Serialises with RFC 1035 §4.1.4 name compression for owner names and
+  /// question names (rdata is stored and written uncompressed).
+  std::vector<std::uint8_t> to_wire() const;
+
+  /// Parses a wire message; embedded compressed names inside NS/CNAME/SOA/
+  /// MX rdata are normalised to uncompressed form. Returns nullopt on any
+  /// malformation (truncation, pointer loops, bad counts).
+  static std::optional<Message> from_wire(std::span<const std::uint8_t> wire);
+
+  /// Standard recursive query with EDNS, DO bit and a 1232-byte buffer.
+  static Message make_query(std::uint16_t id, const Name& qname, RrType qtype,
+                            bool dnssec_ok = true, bool recursion_desired = true);
+
+  /// Response skeleton echoing id/opcode/question/RD of `query`.
+  static Message make_response(const Message& query);
+
+  /// First question, if any.
+  const Question* question() const {
+    return questions.empty() ? nullptr : &questions.front();
+  }
+
+  /// All answer-section records of the given type.
+  std::vector<ResourceRecord> answers_of_type(RrType type) const;
+  /// All authority-section records of the given type.
+  std::vector<ResourceRecord> authorities_of_type(RrType type) const;
+
+  /// One-line summary for logs: "NOERROR q=example.com. A ans=2 auth=0 AD".
+  std::string summary() const;
+};
+
+}  // namespace zh::dns

@@ -1,0 +1,159 @@
+#include "dns/rr.hpp"
+
+#include <algorithm>
+
+#include "dns/encoding.hpp"
+
+namespace zh::dns {
+
+std::string ResourceRecord::to_string() const {
+  std::string out = name.to_string() + " " + std::to_string(ttl) + " " +
+                    zh::dns::to_string(klass) + " " + zh::dns::to_string(type);
+  switch (type) {
+    case RrType::kA:
+      if (const auto a = as<ARdata>()) out += " " + a->to_string();
+      break;
+    case RrType::kAaaa:
+      if (const auto a = as<AaaaRdata>()) out += " " + a->to_string();
+      break;
+    case RrType::kNs:
+      if (const auto ns = as<NsRdata>()) out += " " + ns->nsdname.to_string();
+      break;
+    case RrType::kCname:
+      if (const auto cn = as<CnameRdata>()) out += " " + cn->target.to_string();
+      break;
+    case RrType::kTxt:
+      if (const auto txt = as<TxtRdata>())
+        for (const auto& s : txt->strings) out += " \"" + s + "\"";
+      break;
+    case RrType::kDnskey:
+      if (const auto key = as<DnskeyRdata>()) {
+        out += " " + std::to_string(key->flags) + " " +
+               std::to_string(key->protocol) + " " +
+               std::to_string(key->algorithm) + " " +
+               base64_encode(std::span<const std::uint8_t>(
+                   key->public_key.data(), key->public_key.size()));
+      }
+      break;
+    case RrType::kDs:
+      if (const auto ds = as<DsRdata>()) {
+        out += " " + std::to_string(ds->key_tag) + " " +
+               std::to_string(ds->algorithm) + " " +
+               std::to_string(ds->digest_type) + " " +
+               base16_encode(std::span<const std::uint8_t>(
+                   ds->digest.data(), ds->digest.size()));
+      }
+      break;
+    case RrType::kRrsig:
+      if (const auto sig = as<RrsigRdata>()) {
+        out += " " + zh::dns::to_string(sig->covered()) + " " +
+               std::to_string(sig->algorithm) + " " +
+               std::to_string(sig->labels) + " " +
+               std::to_string(sig->original_ttl) + " " +
+               std::to_string(sig->expiration) + " " +
+               std::to_string(sig->inception) + " " +
+               std::to_string(sig->key_tag) + " " + sig->signer.to_string() +
+               " " +
+               base64_encode(std::span<const std::uint8_t>(
+                   sig->signature.data(), sig->signature.size()));
+      }
+      break;
+    case RrType::kNsec:
+      if (const auto nsec = as<NsecRdata>()) {
+        out += " " + nsec->next_domain.to_string() + " " +
+               nsec->types.to_string();
+      }
+      break;
+    case RrType::kMx:
+      if (const auto mx = as<MxRdata>()) {
+        out += " " + std::to_string(mx->preference) + " " +
+               mx->exchange.to_string();
+      }
+      break;
+    case RrType::kSoa:
+      if (const auto soa = as<SoaRdata>()) {
+        out += " " + soa->mname.to_string() + " " + soa->rname.to_string() +
+               " " + std::to_string(soa->serial) + " " +
+               std::to_string(soa->refresh) + " " +
+               std::to_string(soa->retry) + " " +
+               std::to_string(soa->expire) + " " +
+               std::to_string(soa->minimum);
+      }
+      break;
+    case RrType::kNsec3Param:
+      if (const auto p = as<Nsec3ParamRdata>()) {
+        out += " " + std::to_string(p->hash_algorithm) + " " +
+               std::to_string(p->flags) + " " + std::to_string(p->iterations) +
+               " " +
+               (p->salt.empty() ? std::string("-") : base16_encode(p->salt));
+      }
+      break;
+    case RrType::kNsec3:
+      if (const auto n = as<Nsec3Rdata>()) {
+        out += " " + std::to_string(n->hash_algorithm) + " " +
+               std::to_string(n->flags) + " " + std::to_string(n->iterations) +
+               " " +
+               (n->salt.empty() ? std::string("-") : base16_encode(n->salt)) +
+               " " + base32hex_encode(n->next_hash) + " " +
+               n->types.to_string();
+      }
+      break;
+    default:
+      out += " \\# " + std::to_string(rdata.size()) + " " +
+             base16_encode(rdata);
+      break;
+  }
+  return out;
+}
+
+std::vector<ResourceRecord> RrSet::to_records() const {
+  std::vector<ResourceRecord> out;
+  out.reserve(rdatas.size());
+  for (const auto& rd : rdatas)
+    out.push_back(ResourceRecord{name, type, klass, ttl, rd});
+  return out;
+}
+
+std::vector<RrSet> RrSet::group(const std::vector<ResourceRecord>& records) {
+  std::vector<RrSet> sets;
+  for (const auto& rr : records) {
+    auto it = std::find_if(sets.begin(), sets.end(), [&](const RrSet& s) {
+      return s.type == rr.type && s.klass == rr.klass && s.name.equals(rr.name);
+    });
+    if (it == sets.end()) {
+      sets.push_back(RrSet{rr.name, rr.type, rr.klass, rr.ttl, {rr.rdata}});
+    } else {
+      it->ttl = std::min(it->ttl, rr.ttl);
+      it->rdatas.push_back(rr.rdata);
+    }
+  }
+  return sets;
+}
+
+ResourceRecord make_a(const Name& name, std::uint32_t ttl, std::uint8_t a,
+                      std::uint8_t b, std::uint8_t c, std::uint8_t d) {
+  ARdata rd;
+  rd.address = {a, b, c, d};
+  return ResourceRecord::make(name, RrType::kA, ttl, rd);
+}
+
+ResourceRecord make_ns(const Name& name, std::uint32_t ttl, const Name& nsd) {
+  return ResourceRecord::make(name, RrType::kNs, ttl, NsRdata{nsd});
+}
+
+ResourceRecord make_txt(const Name& name, std::uint32_t ttl, std::string text) {
+  TxtRdata rd;
+  rd.strings.push_back(std::move(text));
+  return ResourceRecord::make(name, RrType::kTxt, ttl, rd);
+}
+
+ResourceRecord make_soa(const Name& zone, std::uint32_t ttl,
+                        const Name& primary_ns, std::uint32_t serial) {
+  SoaRdata soa;
+  soa.mname = primary_ns;
+  if (const auto rname = zone.prepended("hostmaster")) soa.rname = *rname;
+  soa.serial = serial;
+  return ResourceRecord::make(zone, RrType::kSoa, ttl, soa);
+}
+
+}  // namespace zh::dns

@@ -1,0 +1,76 @@
+// Resource records and RRsets.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dns/name.hpp"
+#include "dns/rdata.hpp"
+#include "dns/types.hpp"
+
+namespace zh::dns {
+
+/// A single resource record. RDATA is stored uncompressed.
+struct ResourceRecord {
+  Name name;
+  RrType type = RrType::kA;
+  RrClass klass = RrClass::kIn;
+  std::uint32_t ttl = 3600;
+  RdataBytes rdata;
+
+  /// Typed decode convenience: `rr.as<Nsec3Rdata>()`.
+  template <typename T>
+  std::optional<T> as() const {
+    return T::decode(std::span<const std::uint8_t>(rdata.data(), rdata.size()));
+  }
+
+  /// Builds a record from a typed rdata struct.
+  template <typename T>
+  static ResourceRecord make(Name name, RrType type, std::uint32_t ttl,
+                             const T& typed) {
+    return ResourceRecord{std::move(name), type, RrClass::kIn, ttl,
+                          typed.encode()};
+  }
+
+  /// "name. ttl IN TYPE <rdata summary>" for logs and zone dumps.
+  std::string to_string() const;
+
+  bool operator==(const ResourceRecord& other) const {
+    return name.equals(other.name) && type == other.type &&
+           klass == other.klass && ttl == other.ttl && rdata == other.rdata;
+  }
+};
+
+/// All records sharing (name, type, class): the unit DNSSEC signs.
+struct RrSet {
+  Name name;
+  RrType type = RrType::kA;
+  RrClass klass = RrClass::kIn;
+  std::uint32_t ttl = 3600;
+  std::vector<RdataBytes> rdatas;
+
+  bool empty() const noexcept { return rdatas.empty(); }
+  std::size_t size() const noexcept { return rdatas.size(); }
+
+  /// Expands back into individual records.
+  std::vector<ResourceRecord> to_records() const;
+
+  /// Groups records into RRsets, preserving first-seen order. Records with
+  /// the same (name, type, class) but different TTLs take the minimum TTL
+  /// (RFC 2181 §5.2 behaviour).
+  static std::vector<RrSet> group(const std::vector<ResourceRecord>& records);
+};
+
+/// Convenience constructors for the common record shapes the testbed needs.
+ResourceRecord make_a(const Name& name, std::uint32_t ttl,
+                      std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                      std::uint8_t d);
+ResourceRecord make_ns(const Name& name, std::uint32_t ttl, const Name& nsd);
+ResourceRecord make_txt(const Name& name, std::uint32_t ttl,
+                        std::string text);
+ResourceRecord make_soa(const Name& zone, std::uint32_t ttl,
+                        const Name& primary_ns, std::uint32_t serial);
+
+}  // namespace zh::dns

@@ -1,0 +1,76 @@
+#include "dns/type_bitmap.hpp"
+
+#include <array>
+
+namespace zh::dns {
+
+std::vector<std::uint8_t> TypeBitmap::encode() const {
+  std::vector<std::uint8_t> out;
+  int current_window = -1;
+  std::array<std::uint8_t, 32> bits{};
+  int max_byte = -1;
+
+  const auto flush = [&] {
+    if (current_window < 0 || max_byte < 0) return;
+    out.push_back(static_cast<std::uint8_t>(current_window));
+    out.push_back(static_cast<std::uint8_t>(max_byte + 1));
+    out.insert(out.end(), bits.begin(), bits.begin() + max_byte + 1);
+  };
+
+  for (const std::uint16_t type : types_) {
+    const int window = type >> 8;
+    if (window != current_window) {
+      flush();
+      current_window = window;
+      bits.fill(0);
+      max_byte = -1;
+    }
+    const int low = type & 0xff;
+    const int byte_index = low >> 3;
+    bits[static_cast<std::size_t>(byte_index)] |=
+        static_cast<std::uint8_t>(0x80 >> (low & 7));
+    if (byte_index > max_byte) max_byte = byte_index;
+  }
+  flush();
+  return out;
+}
+
+std::optional<TypeBitmap> TypeBitmap::decode(
+    std::span<const std::uint8_t> wire) {
+  TypeBitmap out;
+  std::size_t pos = 0;
+  int previous_window = -1;
+  while (pos < wire.size()) {
+    if (wire.size() - pos < 2) return std::nullopt;
+    const int window = wire[pos];
+    const std::size_t len = wire[pos + 1];
+    pos += 2;
+    if (window <= previous_window) return std::nullopt;
+    if (len == 0 || len > 32) return std::nullopt;
+    if (wire.size() - pos < len) return std::nullopt;
+    for (std::size_t i = 0; i < len; ++i) {
+      const std::uint8_t byte = wire[pos + i];
+      for (int bit = 0; bit < 8; ++bit) {
+        if (byte & (0x80 >> bit)) {
+          const std::uint16_t type = static_cast<std::uint16_t>(
+              (window << 8) | (i * 8 + static_cast<std::size_t>(bit)));
+          out.types_.insert(type);
+        }
+      }
+    }
+    pos += len;
+    previous_window = window;
+  }
+  return out;
+}
+
+std::string TypeBitmap::to_string() const {
+  std::string out;
+  for (const std::uint16_t type : types_) {
+    if (!out.empty()) out += ' ';
+    out += zh::dns::to_string(static_cast<RrType>(type));
+  }
+  return out;
+}
+
+}  // namespace zh::dns

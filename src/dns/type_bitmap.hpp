@@ -1,0 +1,48 @@
+// NSEC/NSEC3 type bitmaps (RFC 4034 §4.1.2): the set of RR types present at
+// a name, encoded as window blocks.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dns/types.hpp"
+
+namespace zh::dns {
+
+/// An ordered set of RR types with the RFC 4034 window-block wire encoding.
+class TypeBitmap {
+ public:
+  TypeBitmap() = default;
+  explicit TypeBitmap(std::initializer_list<RrType> types) {
+    for (const RrType t : types) insert(t);
+  }
+
+  void insert(RrType type) { types_.insert(static_cast<std::uint16_t>(type)); }
+  bool contains(RrType type) const {
+    return types_.count(static_cast<std::uint16_t>(type)) > 0;
+  }
+  bool empty() const noexcept { return types_.empty(); }
+  std::size_t size() const noexcept { return types_.size(); }
+  const std::set<std::uint16_t>& raw() const noexcept { return types_; }
+
+  /// Window-block wire encoding.
+  std::vector<std::uint8_t> encode() const;
+
+  /// Parses window blocks; rejects out-of-order windows, zero-length or
+  /// oversize bitmaps (RFC 4034 §4.1.2 constraints).
+  static std::optional<TypeBitmap> decode(std::span<const std::uint8_t> wire);
+
+  /// Space-separated mnemonics in numeric order ("A RRSIG NSEC3").
+  std::string to_string() const;
+
+  bool operator==(const TypeBitmap& other) const = default;
+
+ private:
+  std::set<std::uint16_t> types_;
+};
+
+}  // namespace zh::dns

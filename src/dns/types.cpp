@@ -1,0 +1,82 @@
+#include "dns/types.hpp"
+
+namespace zh::dns {
+
+std::string to_string(RrType type) {
+  switch (type) {
+    case RrType::kA: return "A";
+    case RrType::kNs: return "NS";
+    case RrType::kCname: return "CNAME";
+    case RrType::kSoa: return "SOA";
+    case RrType::kMx: return "MX";
+    case RrType::kTxt: return "TXT";
+    case RrType::kAaaa: return "AAAA";
+    case RrType::kOpt: return "OPT";
+    case RrType::kDs: return "DS";
+    case RrType::kRrsig: return "RRSIG";
+    case RrType::kNsec: return "NSEC";
+    case RrType::kDnskey: return "DNSKEY";
+    case RrType::kNsec3: return "NSEC3";
+    case RrType::kNsec3Param: return "NSEC3PARAM";
+  }
+  return "TYPE" + std::to_string(static_cast<std::uint16_t>(type));
+}
+
+std::string to_string(RrClass klass) {
+  switch (klass) {
+    case RrClass::kIn: return "IN";
+    case RrClass::kAny: return "ANY";
+  }
+  return "CLASS" + std::to_string(static_cast<std::uint16_t>(klass));
+}
+
+std::string to_string(Rcode rcode) {
+  switch (rcode) {
+    case Rcode::kNoError: return "NOERROR";
+    case Rcode::kFormErr: return "FORMERR";
+    case Rcode::kServFail: return "SERVFAIL";
+    case Rcode::kNxDomain: return "NXDOMAIN";
+    case Rcode::kNotImp: return "NOTIMP";
+    case Rcode::kRefused: return "REFUSED";
+  }
+  return "RCODE" + std::to_string(static_cast<std::uint16_t>(rcode));
+}
+
+std::string to_string(EdeCode code) {
+  switch (code) {
+    case EdeCode::kOther: return "Other";
+    case EdeCode::kDnssecBogus: return "DNSSEC Bogus";
+    case EdeCode::kSignatureExpired: return "Signature Expired";
+    case EdeCode::kDnssecIndeterminate: return "DNSSEC Indeterminate";
+    case EdeCode::kNsecMissing: return "NSEC Missing";
+    case EdeCode::kUnsupportedNsec3Iterations:
+      return "Unsupported NSEC3 Iterations Value";
+  }
+  return "EDE" + std::to_string(static_cast<std::uint16_t>(code));
+}
+
+std::optional<RrType> rr_type_from_string(std::string_view text) {
+  static const std::pair<std::string_view, RrType> kTypes[] = {
+      {"A", RrType::kA},         {"NS", RrType::kNs},
+      {"CNAME", RrType::kCname}, {"SOA", RrType::kSoa},
+      {"MX", RrType::kMx},       {"TXT", RrType::kTxt},
+      {"AAAA", RrType::kAaaa},   {"OPT", RrType::kOpt},
+      {"DS", RrType::kDs},       {"RRSIG", RrType::kRrsig},
+      {"NSEC", RrType::kNsec},   {"DNSKEY", RrType::kDnskey},
+      {"NSEC3", RrType::kNsec3}, {"NSEC3PARAM", RrType::kNsec3Param},
+  };
+  for (const auto& [name, type] : kTypes)
+    if (text == name) return type;
+  if (text.size() > 4 && text.substr(0, 4) == "TYPE") {
+    std::uint32_t value = 0;
+    for (const char c : text.substr(4)) {
+      if (c < '0' || c > '9') return std::nullopt;
+      value = value * 10 + static_cast<std::uint32_t>(c - '0');
+      if (value > 0xffff) return std::nullopt;
+    }
+    return static_cast<RrType>(value);
+  }
+  return std::nullopt;
+}
+
+}  // namespace zh::dns

@@ -1,0 +1,70 @@
+// Core DNS protocol enumerations (RFC 1035, 4034, 5155, 6891, 8914).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace zh::dns {
+
+/// Resource record types (subset used by the reproduction).
+enum class RrType : std::uint16_t {
+  kA = 1,
+  kNs = 2,
+  kCname = 5,
+  kSoa = 6,
+  kMx = 15,
+  kTxt = 16,
+  kAaaa = 28,
+  kOpt = 41,
+  kDs = 43,
+  kRrsig = 46,
+  kNsec = 47,
+  kDnskey = 48,
+  kNsec3 = 50,
+  kNsec3Param = 51,
+};
+
+/// Resource record classes.
+enum class RrClass : std::uint16_t {
+  kIn = 1,
+  kAny = 255,
+};
+
+/// Response codes (RFC 1035 §4.1.1 + RFC 6891 extended).
+enum class Rcode : std::uint16_t {
+  kNoError = 0,
+  kFormErr = 1,
+  kServFail = 2,
+  kNxDomain = 3,
+  kNotImp = 4,
+  kRefused = 5,
+};
+
+/// Query opcodes.
+enum class Opcode : std::uint8_t {
+  kQuery = 0,
+  kNotify = 4,
+  kUpdate = 5,
+};
+
+/// Extended DNS Error codes (RFC 8914) observed in the study.
+enum class EdeCode : std::uint16_t {
+  kOther = 0,
+  kDnssecBogus = 6,
+  kSignatureExpired = 7,
+  kDnssecIndeterminate = 5,   // returned by Google Public DNS in the paper
+  kNsecMissing = 12,          // returned by Cisco OpenDNS in the paper
+  kUnsupportedNsec3Iterations = 27,  // the RFC 9276 Item 10 code
+};
+
+std::string to_string(RrType type);
+std::string to_string(RrClass klass);
+std::string to_string(Rcode rcode);
+std::string to_string(EdeCode code);
+
+/// Inverse of to_string(RrType); accepts "TYPE<n>" for unknowns.
+std::optional<RrType> rr_type_from_string(std::string_view text);
+
+}  // namespace zh::dns

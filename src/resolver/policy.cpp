@@ -1,0 +1,122 @@
+#include "resolver/policy.hpp"
+
+namespace zh::resolver {
+namespace {
+
+ResolverProfile software(std::string name, std::uint16_t insecure_limit,
+                         bool emit_ede27) {
+  ResolverProfile profile;
+  profile.name = std::move(name);
+  profile.policy.insecure_limit = insecure_limit;
+  // EDE support arrived with the CVE-era releases; the 2021 versions
+  // returned bare insecure responses — matching the paper's finding that
+  // under 18 % of limited responses carry INFO-CODE 27.
+  profile.policy.emit_ede27 = emit_ede27;
+  return profile;
+}
+
+}  // namespace
+
+ResolverProfile ResolverProfile::bind9_2021() {
+  return software("bind9-9.16.16", 150, /*emit_ede27=*/false);
+}
+ResolverProfile ResolverProfile::bind9_2023() {
+  return software("bind9-9.19.19", 50, /*emit_ede27=*/true);
+}
+ResolverProfile ResolverProfile::unbound() {
+  return software("unbound-1.13.2", 150, /*emit_ede27=*/false);
+}
+ResolverProfile ResolverProfile::knot_2021() {
+  return software("knot-resolver-5.3.1", 150, /*emit_ede27=*/false);
+}
+ResolverProfile ResolverProfile::knot_2023() {
+  return software("knot-resolver-5.7", 50, /*emit_ede27=*/true);
+}
+ResolverProfile ResolverProfile::powerdns_2021() {
+  return software("powerdns-recursor-4.5", 150, /*emit_ede27=*/false);
+}
+ResolverProfile ResolverProfile::powerdns_2023() {
+  return software("powerdns-recursor-5.0", 50, /*emit_ede27=*/true);
+}
+
+ResolverProfile ResolverProfile::google_public_dns() {
+  ResolverProfile profile;
+  profile.name = "google-public-dns";
+  profile.policy.insecure_limit = 100;
+  profile.policy.emit_ede27 = false;
+  profile.policy.ede_override = dns::EdeCode::kDnssecIndeterminate;
+  return profile;
+}
+
+ResolverProfile ResolverProfile::cloudflare() {
+  ResolverProfile profile;
+  profile.name = "cloudflare-1.1.1.1";
+  profile.policy.servfail_limit = 150;
+  profile.policy.emit_ede27 = true;
+  return profile;
+}
+
+ResolverProfile ResolverProfile::quad9() {
+  ResolverProfile profile;
+  profile.name = "quad9";
+  profile.policy.insecure_limit = 150;
+  profile.policy.emit_ede27 = false;
+  return profile;
+}
+
+ResolverProfile ResolverProfile::opendns() {
+  ResolverProfile profile;
+  profile.name = "cisco-opendns";
+  profile.policy.servfail_limit = 150;
+  profile.policy.emit_ede27 = false;
+  profile.policy.ede_override = dns::EdeCode::kNsecMissing;
+  return profile;
+}
+
+ResolverProfile ResolverProfile::technitium() {
+  ResolverProfile profile;
+  profile.name = "technitium";
+  profile.policy.servfail_limit = 100;
+  profile.policy.emit_ede27 = true;
+  profile.policy.ede_extra_text = "NSEC3 iterations count exceeds limit";
+  return profile;
+}
+
+ResolverProfile ResolverProfile::strict_zero() {
+  ResolverProfile profile;
+  profile.name = "strict-zero";
+  profile.policy.servfail_limit = 0;
+  profile.ra_copies_rd = true;
+  return profile;
+}
+
+ResolverProfile ResolverProfile::permissive() {
+  ResolverProfile profile;
+  profile.name = "permissive-validator";
+  return profile;  // only the RFC 5155 ceiling applies
+}
+
+ResolverProfile ResolverProfile::item7_violator() {
+  ResolverProfile profile;
+  profile.name = "item7-violator";
+  profile.policy.insecure_limit = 150;
+  profile.policy.verify_rrsig_before_downgrade = false;
+  return profile;
+}
+
+ResolverProfile ResolverProfile::item12_gap() {
+  ResolverProfile profile;
+  profile.name = "item12-gap";
+  profile.policy.insecure_limit = 100;
+  profile.policy.servfail_limit = 150;
+  return profile;
+}
+
+ResolverProfile ResolverProfile::non_validating() {
+  ResolverProfile profile;
+  profile.name = "non-validating";
+  profile.validating = false;
+  return profile;
+}
+
+}  // namespace zh::resolver

@@ -1,0 +1,104 @@
+// RFC 9276 resolver-side policy (Table 1, Items 6-12) and the vendor
+// profiles the paper documents from changelogs and live probing (§4.2/§5.2):
+//
+//   BIND9 / Knot / PowerDNS Recursor / Unbound — insecure above 150 (2021),
+//     all but Unbound lowered to 50 by end of 2023 (CVE-2023-50868 patches);
+//   Google Public DNS — insecure above 100, EDE 5 instead of 27;
+//   Quad9 — insecure above 150, no EDE;
+//   Cloudflare — SERVFAIL above 150, EDE 27;
+//   Cisco OpenDNS — SERVFAIL above 150, EDE 12 instead of 27;
+//   Technitium — SERVFAIL above 100 with EDE 27 + EXTRA-TEXT;
+//   strict-zero devices — SERVFAIL from 1 additional iteration, and an RA
+//     bit simply copied from the query (§5.2 "copy the query content").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "dns/types.hpp"
+
+namespace zh::resolver {
+
+/// Iteration-limit policy of one validating resolver.
+struct Rfc9276Policy {
+  /// RFC 5155 §10.3 ceiling (for the largest key size): every validator
+  /// treats anything above this as insecure, independent of RFC 9276.
+  static constexpr std::uint16_t kRfc5155Ceiling = 2500;
+
+  /// Item 6: iterations strictly above this yield an *insecure* response
+  /// (rcode preserved, AD cleared, NSEC3 proof not required to validate).
+  std::optional<std::uint16_t> insecure_limit;
+
+  /// Item 8/9: iterations strictly above this yield SERVFAIL.
+  std::optional<std::uint16_t> servfail_limit;
+
+  /// Item 7: verify the RRSIGs over NSEC3 RRsets *before* acting on their
+  /// iteration count. Resolvers with `false` exhibit the paper's 0.2 %
+  /// non-compliant behaviour (NXDOMAIN for it-2501-expired).
+  bool verify_rrsig_before_downgrade = true;
+
+  /// Items 10/11: attach EDE INFO-CODE 27 to limit-triggered responses.
+  bool emit_ede27 = false;
+
+  /// Some public resolvers return a different EDE code instead of 27
+  /// (Google: 5 DNSSEC Indeterminate; OpenDNS: 12 NSEC Missing).
+  std::optional<dns::EdeCode> ede_override;
+
+  /// Technitium-style EXTRA-TEXT accompanying the EDE option.
+  std::string ede_extra_text;
+
+  /// Effective thresholds (fall back to the RFC 5155 ceiling).
+  std::uint16_t effective_insecure_limit() const noexcept {
+    return insecure_limit.value_or(kRfc5155Ceiling);
+  }
+
+  bool exceeds_servfail(std::uint16_t iterations) const noexcept {
+    return servfail_limit && iterations > *servfail_limit;
+  }
+  bool exceeds_insecure(std::uint16_t iterations) const noexcept {
+    return iterations > effective_insecure_limit();
+  }
+
+  /// Item 12: SHOULD set both limits to the same value when both exist.
+  /// A gap (insecure < servfail) opens a downgrade-attack window.
+  bool has_item12_gap() const noexcept {
+    return insecure_limit && servfail_limit &&
+           *insecure_limit < *servfail_limit;
+  }
+};
+
+/// A named resolver behaviour bundle used by the workload generator.
+struct ResolverProfile {
+  std::string name;
+  bool validating = true;
+  Rfc9276Policy policy;
+  /// Broken-device quirk: RA bit mirrors the query's RD/RA instead of
+  /// being asserted (observed on the 418 strict-zero resolvers, §5.2).
+  bool ra_copies_rd = false;
+
+  // --- software profiles (changelog-documented) ---
+  static ResolverProfile bind9_2021();      // insecure > 150
+  static ResolverProfile bind9_2023();      // insecure > 50 (CVE patch)
+  static ResolverProfile unbound();         // insecure > 150 (not lowered)
+  static ResolverProfile knot_2021();       // insecure > 150
+  static ResolverProfile knot_2023();       // insecure > 50
+  static ResolverProfile powerdns_2021();   // insecure > 150
+  static ResolverProfile powerdns_2023();   // insecure > 50
+
+  // --- public resolver profiles (probed in the paper) ---
+  static ResolverProfile google_public_dns();  // insecure > 100, EDE 5
+  static ResolverProfile cloudflare();         // SERVFAIL > 150, EDE 27
+  static ResolverProfile quad9();              // insecure > 150, no EDE
+  static ResolverProfile opendns();            // SERVFAIL > 150, EDE 12
+  static ResolverProfile technitium();         // SERVFAIL > 100, EDE 27+text
+
+  // --- behavioural archetypes from §5.2 ---
+  static ResolverProfile strict_zero();     // SERVFAIL from it-1, RA quirk
+  static ResolverProfile permissive();      // validates, RFC 5155 ceiling only
+  static ResolverProfile item7_violator();  // skips Item 7 verification
+  static ResolverProfile item12_gap();      // insecure > 100, SERVFAIL > 150
+  static ResolverProfile non_validating();  // plain recursive, no DNSSEC
+};
+
+}  // namespace zh::resolver

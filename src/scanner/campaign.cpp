@@ -1,0 +1,154 @@
+#include "scanner/campaign.hpp"
+
+#include <algorithm>
+
+namespace zh::scanner {
+namespace {
+
+/// Registered domain ("operator identity") of a name-server name: its last
+/// two labels — the paper aggregates NS records by registered domain even
+/// across public suffixes.
+std::string operator_identity(const dns::Name& ns_name) {
+  if (ns_name.label_count() < 2) return ns_name.to_string();
+  return ns_name.ancestor_with_labels(2).canonical().to_string();
+}
+
+/// The single operator exclusively serving a domain, or empty.
+std::string exclusive_operator(const std::vector<dns::Name>& ns_names) {
+  std::string identity;
+  for (const auto& ns : ns_names) {
+    const std::string op = operator_identity(ns);
+    if (identity.empty()) {
+      identity = op;
+    } else if (identity != op) {
+      return {};
+    }
+  }
+  return identity;
+}
+
+}  // namespace
+
+DomainCampaign::DomainCampaign(testbed::Internet& internet,
+                               const workload::EcosystemSpec& spec,
+                               simnet::IpAddress scan_resolver)
+    : internet_(internet),
+      spec_(spec),
+      scanner_(internet.network(), simnet::IpAddress::v4(203, 0, 113, 250),
+               scan_resolver) {}
+
+void DomainCampaign::run(std::size_t limit, std::size_t stride) {
+  const std::size_t count = std::min(limit, spec_.domain_count());
+  for (std::size_t index = 0; index < count; index += stride) {
+    const workload::DomainProfile profile = spec_.domain(index);
+    const DomainScanResult result = scanner_.scan(profile.apex);
+
+    ++stats_.scanned;
+    CompactDomainRecord record;
+    record.index = static_cast<std::uint32_t>(index);
+    record.classification = result.classification;
+
+    if (result.dnskey) ++stats_.dnssec;
+    if (result.classification == DomainScanResult::Class::kExcluded)
+      ++stats_.excluded;
+
+    if (result.classification == DomainScanResult::Class::kNsec3Enabled) {
+      ++stats_.nsec3;
+      const auto& nsec3 = *result.nsec3;
+      record.iterations = nsec3.iterations;
+      record.salt_len = static_cast<std::uint8_t>(
+          std::min<std::size_t>(nsec3.salt.size(), 255));
+      record.opt_out = nsec3.opt_out;
+
+      stats_.iterations.add(nsec3.iterations);
+      stats_.salt_len.add(static_cast<std::int64_t>(nsec3.salt.size()));
+      if (nsec3.iterations == 0) ++stats_.zero_iterations;
+      if (nsec3.salt.empty()) ++stats_.no_salt;
+      if (nsec3.iterations == 0 && nsec3.salt.empty())
+        ++stats_.fully_compliant;
+      if (nsec3.opt_out) ++stats_.opt_out;
+      if (nsec3.iterations > 150) ++stats_.over_150_iterations;
+      if (nsec3.iterations == 500) ++stats_.at_500_iterations;
+      if (nsec3.salt.size() > 10) ++stats_.salt_over_10;
+      if (nsec3.salt.size() > 45) ++stats_.salt_over_45;
+      if (nsec3.salt.size() == 160) ++stats_.salt_at_160;
+
+      const std::string op = exclusive_operator(result.ns_names);
+      if (!op.empty()) {
+        stats_.operators.add(op);
+        stats_.operator_params[op].add(
+            std::to_string(nsec3.iterations) + "/" +
+            std::to_string(nsec3.salt.size()));
+      }
+    }
+    by_index_[record.index] = records_.size();
+    records_.push_back(record);
+  }
+}
+
+const CompactDomainRecord* DomainCampaign::record_for(
+    std::size_t index) const {
+  const auto it = by_index_.find(static_cast<std::uint32_t>(index));
+  return it == by_index_.end() ? nullptr : &records_[it->second];
+}
+
+TldCensusStats scan_tlds(testbed::Internet& internet,
+                         const workload::EcosystemSpec& spec,
+                         simnet::IpAddress scan_resolver) {
+  TldCensusStats stats;
+  DomainScanner scanner(internet.network(),
+                        simnet::IpAddress::v4(203, 0, 113, 251),
+                        scan_resolver);
+  for (const auto& tld : spec.tlds()) {
+    const DomainScanResult result =
+        scanner.scan(dns::Name::must_parse(tld.label));
+    ++stats.scanned;
+    if (result.dnskey) ++stats.dnssec;
+    if (result.classification != DomainScanResult::Class::kNsec3Enabled)
+      continue;
+    ++stats.nsec3;
+    const auto& nsec3 = *result.nsec3;
+    stats.iterations.add(nsec3.iterations);
+    if (nsec3.iterations == 0) ++stats.zero_iterations;
+    if (nsec3.iterations == 100) ++stats.at_100_iterations;
+    if (nsec3.salt.empty()) ++stats.no_salt;
+    if (nsec3.salt.size() == 8) ++stats.salt_8;
+    if (nsec3.salt.size() == 10) ++stats.salt_10;
+    if (nsec3.opt_out) ++stats.opt_out;
+  }
+  return stats;
+}
+
+void ResolverSweepStats::add(const ResolverProbeResult& result) {
+  ++probed;
+  if (!result.validator) return;
+  ++validators;
+
+  for (const auto& [iterations, observation] : result.sweep) {
+    RcodeShares& shares = by_iteration[iterations];
+    ++shares.total;
+    if (observation.rcode == dns::Rcode::kNxDomain) {
+      ++shares.nxdomain;
+      if (observation.ad) ++shares.nxdomain_ad;
+    } else if (observation.rcode == dns::Rcode::kServFail) {
+      ++shares.servfail;
+    }
+  }
+  if (result.implements_item6) {
+    ++item6;
+    if (result.insecure_limit) ++insecure_limits[*result.insecure_limit];
+  }
+  if (result.implements_item8) {
+    ++item8;
+    if (result.servfail_limit) ++servfail_limits[*result.servfail_limit];
+  }
+  if (result.item7_violation) ++item7_violations;
+  if (result.item12_gap) ++item12_gaps;
+  // The paper's Item 10 metric counts INFO-CODE 27 specifically (Google's
+  // EDE 5 and OpenDNS's EDE 12 do not qualify).
+  if (result.limit_ede &&
+      *result.limit_ede == dns::EdeCode::kUnsupportedNsec3Iterations)
+    ++ede_on_limit;
+}
+
+}  // namespace zh::scanner

@@ -1,0 +1,131 @@
+// Campaign drivers: run the domain scanner over the whole synthetic
+// population (and the TLD census), and aggregate resolver probe results —
+// producing exactly the quantities the paper's §5 reports.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/stats.hpp"
+#include "scanner/domain_scanner.hpp"
+#include "scanner/resolver_prober.hpp"
+#include "testbed/internet.hpp"
+#include "workload/spec.hpp"
+
+namespace zh::scanner {
+
+/// Minimal per-domain record kept after scanning (for intersections).
+struct CompactDomainRecord {
+  std::uint32_t index = 0;
+  DomainScanResult::Class classification =
+      DomainScanResult::Class::kUnresponsive;
+  std::uint16_t iterations = 0;
+  std::uint8_t salt_len = 0;
+  bool opt_out = false;
+};
+
+/// Aggregated §5.1 statistics of a domain scan campaign.
+struct DomainCampaignStats {
+  std::uint64_t scanned = 0;
+  std::uint64_t dnssec = 0;
+  std::uint64_t nsec3 = 0;
+  std::uint64_t excluded = 0;
+
+  analysis::Ecdf iterations;  // over NSEC3-enabled domains
+  analysis::Ecdf salt_len;
+
+  std::uint64_t zero_iterations = 0;
+  std::uint64_t no_salt = 0;
+  std::uint64_t fully_compliant = 0;  // Items 2 + 3
+  std::uint64_t opt_out = 0;
+  std::uint64_t over_150_iterations = 0;
+  std::uint64_t at_500_iterations = 0;
+  std::uint64_t salt_over_10 = 0;
+  std::uint64_t salt_over_45 = 0;
+  std::uint64_t salt_at_160 = 0;
+
+  /// NSEC3-enabled domains exclusively served per operator (Table 2).
+  analysis::FreqTable operators;
+  /// Parameter mixes per operator ("iterations/salt-bytes" keys).
+  std::map<std::string, analysis::FreqTable> operator_params;
+};
+
+/// Runs the §4.1 pipeline over the synthetic population through a recursive
+/// resolver node already attached to the internet.
+class DomainCampaign {
+ public:
+  DomainCampaign(testbed::Internet& internet,
+                 const workload::EcosystemSpec& spec,
+                 simnet::IpAddress scan_resolver);
+
+  /// Scans domain indexes [0, limit) (stride for cheap smoke runs).
+  void run(std::size_t limit = static_cast<std::size_t>(-1),
+           std::size_t stride = 1);
+
+  const DomainCampaignStats& stats() const noexcept { return stats_; }
+  const std::vector<CompactDomainRecord>& records() const noexcept {
+    return records_;
+  }
+  /// Record by domain index (records are appended in scan order).
+  const CompactDomainRecord* record_for(std::size_t index) const;
+
+  std::uint64_t queries_issued() const noexcept {
+    return scanner_.queries_issued();
+  }
+
+ private:
+  testbed::Internet& internet_;
+  const workload::EcosystemSpec& spec_;
+  DomainScanner scanner_;
+  DomainCampaignStats stats_;
+  std::vector<CompactDomainRecord> records_;
+  std::map<std::uint32_t, std::size_t> by_index_;
+};
+
+/// §5.1 TLD census result.
+struct TldCensusStats {
+  std::uint64_t scanned = 0;
+  std::uint64_t dnssec = 0;
+  std::uint64_t nsec3 = 0;
+  std::uint64_t zero_iterations = 0;
+  std::uint64_t at_100_iterations = 0;
+  std::uint64_t no_salt = 0;
+  std::uint64_t salt_8 = 0;
+  std::uint64_t salt_10 = 0;
+  std::uint64_t opt_out = 0;
+  analysis::Ecdf iterations;
+};
+
+/// Scans every TLD in the census through the same pipeline.
+TldCensusStats scan_tlds(testbed::Internet& internet,
+                         const workload::EcosystemSpec& spec,
+                         simnet::IpAddress scan_resolver);
+
+/// Aggregated §5.2 statistics over a probed resolver population.
+struct ResolverSweepStats {
+  std::uint64_t probed = 0;
+  std::uint64_t validators = 0;
+
+  struct RcodeShares {
+    std::uint64_t nxdomain = 0;
+    std::uint64_t nxdomain_ad = 0;  // subset of nxdomain
+    std::uint64_t servfail = 0;
+    std::uint64_t total = 0;
+  };
+  /// Figure 3 series: per probed iteration count.
+  std::map<std::uint16_t, RcodeShares> by_iteration;
+
+  std::uint64_t item6 = 0;
+  std::uint64_t item8 = 0;
+  std::uint64_t item7_violations = 0;
+  std::uint64_t item12_gaps = 0;
+  std::uint64_t ede_on_limit = 0;
+  std::map<std::uint16_t, std::uint64_t> insecure_limits;  // limit → count
+  std::map<std::uint16_t, std::uint64_t> servfail_limits;
+
+  void add(const ResolverProbeResult& result);
+};
+
+}  // namespace zh::scanner

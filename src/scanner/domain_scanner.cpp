@@ -1,0 +1,108 @@
+#include "scanner/domain_scanner.hpp"
+
+namespace zh::scanner {
+namespace {
+
+using dns::Message;
+using dns::Name;
+using dns::RrType;
+
+}  // namespace
+
+DomainScanner::DomainScanner(simnet::Network& network,
+                             simnet::IpAddress source,
+                             simnet::IpAddress resolver)
+    : network_(network), source_(source), resolver_(resolver) {}
+
+std::optional<Message> DomainScanner::query(const Name& qname, RrType type) {
+  Message q = Message::make_query(next_id_++, qname, type,
+                                  /*dnssec_ok=*/true);
+  q.header.cd = true;  // measurement queries bypass upstream validation
+  ++queries_;
+  return network_.send(source_, resolver_, q);
+}
+
+DomainScanResult DomainScanner::scan(const Name& apex) {
+  DomainScanResult result;
+  result.apex = apex;
+
+  // 1. DNSKEY.
+  const auto dnskey_response = query(apex, RrType::kDnskey);
+  if (!dnskey_response) return result;  // kUnresponsive
+  result.dnskey =
+      !dnskey_response->answers_of_type(RrType::kDnskey).empty();
+  if (!result.dnskey) {
+    result.classification = DomainScanResult::Class::kNoDnssec;
+    return result;
+  }
+
+  // 2. NSEC3PARAM + NS.
+  if (const auto response = query(apex, RrType::kNsec3Param)) {
+    const auto params = response->answers_of_type(RrType::kNsec3Param);
+    result.nsec3param_count = params.size();
+    if (params.size() == 1) {
+      result.nsec3param = params.front().as<dns::Nsec3ParamRdata>();
+    }
+  }
+  if (const auto response = query(apex, RrType::kNs)) {
+    for (const auto& rr : response->answers_of_type(RrType::kNs)) {
+      if (const auto ns = rr.as<dns::NsRdata>())
+        result.ns_names.push_back(ns->nsdname);
+    }
+  }
+
+  // 3. Negative probe: a random subdomain triggers either an NXDOMAIN or a
+  //    wildcard expansion — both carry NSEC3 records when the zone has them.
+  const Name probe_name = *apex.prepended(
+      "zz-scan-" + std::to_string(probe_token_++));
+  const auto negative = query(probe_name, RrType::kA);
+  if (negative) {
+    Nsec3Observation observation;
+    bool first = true;
+    std::size_t nsec3_records = 0;
+    for (const auto& section :
+         {negative->authorities, negative->answers}) {
+      for (const auto& rr : section) {
+        if (rr.type == RrType::kNsec) result.nsec_seen = true;
+        if (rr.type != RrType::kNsec3) continue;
+        const auto rdata = rr.as<dns::Nsec3Rdata>();
+        if (!rdata) continue;
+        ++nsec3_records;
+        if (first) {
+          observation.iterations = rdata->iterations;
+          observation.salt = rdata->salt;
+          first = false;
+        } else if (rdata->iterations != observation.iterations ||
+                   rdata->salt != observation.salt) {
+          observation.records_consistent = false;  // RFC 5155 violation
+        }
+        if (rdata->opt_out()) observation.opt_out = true;
+      }
+    }
+    if (nsec3_records > 0) {
+      if (result.nsec3param) {
+        observation.matches_nsec3param =
+            result.nsec3param->iterations == observation.iterations &&
+            result.nsec3param->salt == observation.salt;
+      }
+      result.nsec3 = std::move(observation);
+    }
+  }
+
+  // 4. Classification per §4.1.
+  if (result.nsec3param_count > 1) {
+    result.classification = DomainScanResult::Class::kExcluded;
+  } else if (result.nsec3param_count == 1 && result.nsec3 &&
+             result.nsec3->records_consistent &&
+             result.nsec3->matches_nsec3param) {
+    result.classification = DomainScanResult::Class::kNsec3Enabled;
+  } else if (result.nsec3param_count == 1 || result.nsec3) {
+    // NSEC3 machinery present but inconsistent / half-visible.
+    result.classification = DomainScanResult::Class::kExcluded;
+  } else {
+    result.classification = DomainScanResult::Class::kDnssecNoNsec3;
+  }
+  return result;
+}
+
+}  // namespace zh::scanner

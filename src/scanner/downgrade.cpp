@@ -1,0 +1,28 @@
+#include "scanner/downgrade.hpp"
+
+#include "dns/rdata.hpp"
+
+namespace zh::scanner {
+
+simnet::TamperHook make_downgrade_attacker(dns::Name zone,
+                                           std::uint16_t iterations) {
+  return [zone = std::move(zone), iterations](
+             dns::Message& response, const simnet::IpAddress& /*from*/,
+             const simnet::IpAddress& /*to*/) {
+    bool touched = false;
+    for (auto* section : {&response.authorities, &response.answers}) {
+      for (auto& rr : *section) {
+        if (rr.type != dns::RrType::kNsec3) continue;
+        if (!rr.name.is_subdomain_of(zone)) continue;
+        auto rdata = rr.as<dns::Nsec3Rdata>();
+        if (!rdata || rdata->iterations >= iterations) continue;
+        rdata->iterations = iterations;
+        rr.rdata = rdata->encode();
+        touched = true;
+      }
+    }
+    return touched;
+  };
+}
+
+}  // namespace zh::scanner

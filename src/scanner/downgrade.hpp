@@ -1,0 +1,23 @@
+// The NSEC3 downgrade attack (RFC 5155 §12.1.1, the risk behind RFC 9276
+// Items 7 and 12): an on-path attacker rewrites the NSEC3 records in a
+// negative response to advertise a huge iteration count. A resolver that
+// trusts the advertised count without verifying the records' RRSIGs
+// (Item 7 violation) downgrades the response to insecure — DNSSEC is
+// disabled and a follow-up spoof goes unnoticed. A compliant resolver
+// verifies first, detects the forgery and fails closed (SERVFAIL).
+#pragma once
+
+#include <cstdint>
+
+#include "dns/name.hpp"
+#include "simnet/network.hpp"
+
+namespace zh::scanner {
+
+/// Builds a tamper hook that rewrites every NSEC3 record below `zone` to
+/// claim `iterations` additional iterations (leaving the — now invalid —
+/// signatures in place).
+simnet::TamperHook make_downgrade_attacker(dns::Name zone,
+                                           std::uint16_t iterations);
+
+}  // namespace zh::scanner

@@ -1,0 +1,89 @@
+// Zone enumeration attacks — the threat NSEC3 was designed against (§2.2)
+// and the reason RFC 9276 judges extra iterations pointless (§2.3):
+//
+//  * NsecWalker: classic zone walking. NSEC records link existing names in
+//    canonical order, so querying just past each `next_domain` enumerates
+//    the entire zone with one query per name.
+//
+//  * Nsec3DictionaryAttack: NSEC3 only hides names behind hashes. An
+//    attacker harvests the NSEC3 chain (hashes of every existing name) via
+//    random-subdomain queries, then hashes a dictionary of likely labels
+//    offline. The attacker pays exactly the same per-guess cost the
+//    iteration count imposes on validators — and most labels (www, mail,
+//    api, …) fall to a small dictionary regardless, which is the paper's
+//    argument for zero additional iterations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dns/message.hpp"
+#include "simnet/network.hpp"
+
+namespace zh::scanner {
+
+/// Result of an NSEC zone walk.
+struct NsecWalkResult {
+  bool complete = false;           // chain closed back to the apex
+  std::vector<dns::Name> names;    // enumerated owner names, in chain order
+  std::uint64_t queries = 0;
+};
+
+/// Walks a zone's NSEC chain through a resolver (or directly at a server).
+class NsecWalker {
+ public:
+  NsecWalker(simnet::Network& network, simnet::IpAddress source,
+             simnet::IpAddress resolver);
+
+  /// Enumerates `zone`; stops after `max_steps` to bound runaway chains.
+  NsecWalkResult walk(const dns::Name& zone, std::size_t max_steps = 10000);
+
+ private:
+  simnet::Network& network_;
+  simnet::IpAddress source_;
+  simnet::IpAddress resolver_;
+  std::uint16_t next_id_ = 1;
+};
+
+/// One recovered (hash → name) mapping.
+struct CrackedName {
+  dns::Name name;
+  std::vector<std::uint8_t> hash;
+};
+
+/// Result of the NSEC3 harvest + offline dictionary attack.
+struct Nsec3AttackResult {
+  std::size_t chain_hashes = 0;    // distinct NSEC3 owners harvested
+  std::vector<CrackedName> cracked;
+  std::uint64_t online_queries = 0;
+  std::uint64_t offline_hashes = 0;   // dictionary guesses hashed
+  std::uint64_t offline_sha1_blocks = 0;  // attacker CPU spent
+  std::uint16_t iterations = 0;    // zone's advertised iteration count
+  std::vector<std::uint8_t> salt;
+};
+
+/// Harvests a zone's NSEC3 chain, then cracks it with a label dictionary.
+class Nsec3DictionaryAttack {
+ public:
+  Nsec3DictionaryAttack(simnet::Network& network, simnet::IpAddress source,
+                        simnet::IpAddress resolver);
+
+  /// The classic "easily guessable subdomains" wordlist.
+  static std::vector<std::string> default_dictionary();
+
+  /// Runs the attack: `harvest_queries` random-subdomain probes to collect
+  /// chain links, then offline hashing of `dictionary` labels (+ the apex).
+  Nsec3AttackResult run(const dns::Name& zone,
+                        const std::vector<std::string>& dictionary,
+                        std::size_t harvest_queries = 64);
+
+ private:
+  simnet::Network& network_;
+  simnet::IpAddress source_;
+  simnet::IpAddress resolver_;
+  std::uint16_t next_id_ = 1;
+  std::uint64_t token_ = 0;
+};
+
+}  // namespace zh::scanner

@@ -1,0 +1,107 @@
+// IPv4/IPv6 addresses for the simulated Internet.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+namespace zh::simnet {
+
+/// An IP address (either family), value type.
+class IpAddress {
+ public:
+  IpAddress() = default;
+
+  static IpAddress v4(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                      std::uint8_t d) {
+    IpAddress addr;
+    addr.v6_ = false;
+    addr.bytes_ = {a, b, c, d};
+    return addr;
+  }
+
+  /// IPv6 from eight 16-bit groups.
+  static IpAddress v6(std::array<std::uint16_t, 8> groups) {
+    IpAddress addr;
+    addr.v6_ = true;
+    for (int i = 0; i < 8; ++i) {
+      addr.bytes_[static_cast<std::size_t>(2 * i)] =
+          static_cast<std::uint8_t>(groups[static_cast<std::size_t>(i)] >> 8);
+      addr.bytes_[static_cast<std::size_t>(2 * i + 1)] =
+          static_cast<std::uint8_t>(groups[static_cast<std::size_t>(i)]);
+    }
+    return addr;
+  }
+
+  /// From raw address bytes (4 for IPv4, 16 for IPv6) — e.g. A/AAAA rdata.
+  static IpAddress from_bytes(bool v6, const std::uint8_t* data) {
+    IpAddress addr;
+    addr.v6_ = v6;
+    for (std::size_t i = 0; i < (v6 ? 16u : 4u); ++i) addr.bytes_[i] = data[i];
+    return addr;
+  }
+
+  /// Deterministic address allocator: index → unique address per family.
+  /// IPv4 addresses land in 10.0.0.0/8-style space; IPv6 in 2001:db8::/32
+  /// (the documentation prefix), so logs are visibly synthetic.
+  static IpAddress from_index(bool v6, std::uint32_t index) {
+    if (!v6) {
+      return v4(10, static_cast<std::uint8_t>(index >> 16),
+                static_cast<std::uint8_t>(index >> 8),
+                static_cast<std::uint8_t>(index));
+    }
+    return IpAddress::v6({0x2001, 0x0db8,
+                          static_cast<std::uint16_t>(index >> 16),
+                          static_cast<std::uint16_t>(index), 0, 0, 0, 1});
+  }
+
+  bool is_v6() const noexcept { return v6_; }
+
+  /// Raw bytes: first 4 meaningful for IPv4, all 16 for IPv6.
+  const std::array<std::uint8_t, 16>& raw() const noexcept { return bytes_; }
+
+  std::string to_string() const {
+    char buf[48];
+    if (!v6_) {
+      std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", bytes_[0], bytes_[1],
+                    bytes_[2], bytes_[3]);
+    } else {
+      std::snprintf(buf, sizeof buf, "%x:%x:%x:%x:%x:%x:%x:%x",
+                    (bytes_[0] << 8) | bytes_[1], (bytes_[2] << 8) | bytes_[3],
+                    (bytes_[4] << 8) | bytes_[5], (bytes_[6] << 8) | bytes_[7],
+                    (bytes_[8] << 8) | bytes_[9],
+                    (bytes_[10] << 8) | bytes_[11],
+                    (bytes_[12] << 8) | bytes_[13],
+                    (bytes_[14] << 8) | bytes_[15]);
+    }
+    return buf;
+  }
+
+  bool operator==(const IpAddress& other) const noexcept {
+    return v6_ == other.v6_ && bytes_ == other.bytes_;
+  }
+  bool operator<(const IpAddress& other) const noexcept {
+    if (v6_ != other.v6_) return !v6_;
+    return bytes_ < other.bytes_;
+  }
+
+  std::size_t hash() const noexcept {
+    std::size_t h = v6_ ? 0x9e3779b97f4a7c15ull : 0;
+    for (const std::uint8_t b : bytes_) h = h * 1099511628211ull + b;
+    return h;
+  }
+
+ private:
+  bool v6_ = false;
+  std::array<std::uint8_t, 16> bytes_{};
+};
+
+struct IpAddressHash {
+  std::size_t operator()(const IpAddress& a) const noexcept {
+    return a.hash();
+  }
+};
+
+}  // namespace zh::simnet

@@ -1,0 +1,151 @@
+// The simulated Internet: a registry of addressable DNS nodes and a
+// synchronous query transport with loss injection and server-side logging —
+// the measurement infrastructure the paper runs on (their authoritative
+// servers log source IPs to detect forwarders, §4.2).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/cost_meter.hpp"
+#include "dns/message.hpp"
+#include "simnet/address.hpp"
+
+namespace zh::simnet {
+
+/// A node's query handler: query + source address → response (nullopt means
+/// the node drops the query).
+using MessageHandler = std::function<std::optional<dns::Message>(
+    const dns::Message&, const IpAddress& source)>;
+
+/// One server-side log line.
+struct QueryLogEntry {
+  IpAddress source;
+  IpAddress destination;
+  dns::Question question;
+};
+
+/// On-path tampering hook: may mutate a response in flight (returns true if
+/// it touched the message). Models the downgrade attacker of RFC 9276
+/// Item 12 / RFC 5155 §12.1.1.
+using TamperHook = std::function<bool(dns::Message& response,
+                                      const IpAddress& from,
+                                      const IpAddress& to)>;
+
+/// The network. Single-threaded and deterministic: queries are synchronous
+/// calls, loss is driven by a seeded RNG.
+class Network {
+ public:
+  /// Registers a node. Re-attaching an address replaces its handler.
+  void attach(const IpAddress& address, MessageHandler handler) {
+    nodes_[address] = std::move(handler);
+  }
+
+  void detach(const IpAddress& address) { nodes_.erase(address); }
+
+  bool is_attached(const IpAddress& address) const {
+    return nodes_.count(address) > 0;
+  }
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+
+  /// Sends a query over simulated UDP; returns the response or nullopt on
+  /// unreachable destination / simulated loss. Responses larger than the
+  /// client's advertised EDNS buffer (or 512 bytes without EDNS) come back
+  /// truncated: empty sections with the TC bit set (RFC 1035 §4.2.1 /
+  /// RFC 6891 §4.3) — the caller must retry over TCP via send_tcp().
+  std::optional<dns::Message> send(const IpAddress& from, const IpAddress& to,
+                                   const dns::Message& query) {
+    auto response = deliver(from, to, query);
+    if (!response) return std::nullopt;
+    const std::size_t buffer_size =
+        query.edns ? query.edns->udp_payload_size : 512;
+    if (response->to_wire().size() > buffer_size) {
+      dns::Message truncated = dns::Message::make_response(query);
+      truncated.header.rcode = response->header.rcode;
+      truncated.header.aa = response->header.aa;
+      truncated.header.tc = true;
+      ++truncations_;
+      return truncated;
+    }
+    return response;
+  }
+
+  /// Sends over simulated TCP: no size limit, no truncation.
+  std::optional<dns::Message> send_tcp(const IpAddress& from,
+                                       const IpAddress& to,
+                                       const dns::Message& query) {
+    ++tcp_queries_;
+    return deliver(from, to, query);
+  }
+
+  std::uint64_t truncations() const noexcept { return truncations_; }
+  std::uint64_t tcp_queries() const noexcept { return tcp_queries_; }
+
+  /// Installs (or clears, with nullptr) the on-path attacker.
+  void set_tamper(TamperHook hook) { tamper_ = std::move(hook); }
+  std::uint64_t tampered_responses() const noexcept { return tampered_; }
+
+  /// Cumulative SHA-1 blocks spent inside node handlers during send().
+  std::uint64_t receiver_sha1_blocks() const noexcept {
+    return receiver_sha1_blocks_;
+  }
+
+  /// Enables the paper's server-side logging for one destination.
+  void enable_logging_for(const IpAddress& destination) {
+    logged_destinations_.insert({destination, true});
+  }
+
+  const std::vector<QueryLogEntry>& query_log() const noexcept { return log_; }
+  void clear_query_log() { log_.clear(); }
+
+  std::uint64_t queries_sent() const noexcept { return queries_sent_; }
+
+  /// Uniform random loss on every send (0 disables; deterministic by seed).
+  void set_loss(double probability, std::uint64_t seed = 1) {
+    loss_probability_ = probability;
+    loss_rng_.seed(seed);
+  }
+
+ private:
+  std::optional<dns::Message> deliver(const IpAddress& from,
+                                      const IpAddress& to,
+                                      const dns::Message& query) {
+    ++queries_sent_;
+    if (loss_probability_ > 0.0 &&
+        loss_dist_(loss_rng_) < loss_probability_)
+      return std::nullopt;
+    const auto it = nodes_.find(to);
+    if (it == nodes_.end()) return std::nullopt;
+    if (logged_destinations_.count(to) > 0 && !query.questions.empty()) {
+      log_.push_back(QueryLogEntry{from, to, query.questions.front()});
+    }
+    // Attribute hash work done inside the receiving node's handler to the
+    // receiver, so callers can report their own validation cost net of the
+    // (synchronous, same-thread) server-side proof construction.
+    const std::uint64_t before = crypto::CostMeter::sha1_blocks();
+    auto response = it->second(query, from);
+    receiver_sha1_blocks_ += crypto::CostMeter::sha1_blocks() - before;
+    if (response && tamper_ && tamper_(*response, to, from)) ++tampered_;
+    return response;
+  }
+
+  std::unordered_map<IpAddress, MessageHandler, IpAddressHash> nodes_;
+  std::unordered_map<IpAddress, bool, IpAddressHash> logged_destinations_;
+  std::vector<QueryLogEntry> log_;
+  std::uint64_t queries_sent_ = 0;
+  std::uint64_t receiver_sha1_blocks_ = 0;
+  std::uint64_t truncations_ = 0;
+  std::uint64_t tcp_queries_ = 0;
+  TamperHook tamper_;
+  std::uint64_t tampered_ = 0;
+  double loss_probability_ = 0.0;
+  std::mt19937_64 loss_rng_{1};
+  std::uniform_real_distribution<double> loss_dist_{0.0, 1.0};
+};
+
+}  // namespace zh::simnet

@@ -1,0 +1,29 @@
+// Wires an EcosystemSpec into a testbed::Internet: declares the TLD census,
+// creates the hosting operators with lazy zone providers, and registers the
+// delegation for every synthetic registered domain.
+#pragma once
+
+#include <vector>
+
+#include "testbed/internet.hpp"
+#include "workload/spec.hpp"
+
+namespace zh::workload {
+
+struct InstalledEcosystem {
+  /// operator model index → testbed operator index.
+  std::vector<std::size_t> operator_map;
+};
+
+/// Declares everything on `internet` (call before internet.build()) and
+/// installs lazy providers (effective immediately). The spec must outlive
+/// the internet.
+InstalledEcosystem install_ecosystem(testbed::Internet& internet,
+                                     const EcosystemSpec& spec);
+
+/// Builds the DomainConfig a profile corresponds to (shared by the lazy
+/// provider and by tests that materialise zones directly).
+testbed::DomainConfig domain_config_for(const DomainProfile& profile,
+                                        const EcosystemSpec& spec);
+
+}  // namespace zh::workload

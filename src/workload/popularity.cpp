@@ -1,0 +1,92 @@
+#include "workload/popularity.hpp"
+
+#include <algorithm>
+
+namespace zh::workload {
+namespace {
+
+std::uint64_t splitmix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+enum class Category {
+  kPlain,        // not DNSSEC-enabled
+  kNsecOnly,     // DNSSEC but not NSEC3
+  kBoth,         // NSEC3, zero iterations AND no salt
+  kZeroOnly,     // NSEC3, zero iterations, salted
+  kNoSaltOnly,   // NSEC3, iterations > 0, no salt
+  kNeither,      // NSEC3, iterations > 0, salted
+};
+
+Category classify(const DomainProfile& profile) {
+  if (!profile.dnssec) return Category::kPlain;
+  if (profile.denial != zone::DenialMode::kNsec3) return Category::kNsecOnly;
+  const bool zero = profile.nsec3.iterations == 0;
+  const bool saltless = profile.nsec3.salt.empty();
+  if (zero && saltless) return Category::kBoth;
+  if (zero) return Category::kZeroOnly;
+  if (saltless) return Category::kNoSaltOnly;
+  return Category::kNeither;
+}
+
+}  // namespace
+
+PopularityList::PopularityList(const EcosystemSpec& spec, Options options) {
+  // Pools of domain indexes by category (one pass over the population).
+  std::vector<std::size_t> pools[6];
+  for (std::size_t i = 0; i < spec.domain_count(); ++i) {
+    pools[static_cast<int>(classify(spec.domain(i)))].push_back(i);
+  }
+
+  // Per-rank category probabilities from the paper's intersections.
+  constexpr double kDnssec = 0.0666;
+  constexpr double kNsec3GivenDnssec = 0.408;
+  const double nsec3 = kDnssec * kNsec3GivenDnssec;
+  const double p_both = nsec3 * 0.127;
+  const double p_zero_only = nsec3 * (0.228 - 0.127);
+  const double p_nosalt_only = nsec3 * (0.236 - 0.127);
+  const double p_neither = nsec3 - p_both - p_zero_only - p_nosalt_only;
+  const double p_nsec_only = kDnssec - nsec3;
+
+  std::size_t cursor[6] = {};
+  const auto take = [&](Category category) -> std::optional<std::size_t> {
+    auto& pool = pools[static_cast<int>(category)];
+    auto& pos = cursor[static_cast<int>(category)];
+    if (pos >= pool.size()) return std::nullopt;
+    return pool[pos++];
+  };
+
+  entries_.reserve(options.size);
+  for (std::uint64_t rank = 1; entries_.size() < options.size; ++rank) {
+    if (rank > options.size * 4) break;  // population exhausted
+    const double draw =
+        static_cast<double>(splitmix(options.seed ^ rank) >> 11) /
+        9007199254740992.0;
+    Category category;
+    double acc = p_both;
+    if (draw < acc) {
+      category = Category::kBoth;
+    } else if (draw < (acc += p_zero_only)) {
+      category = Category::kZeroOnly;
+    } else if (draw < (acc += p_nosalt_only)) {
+      category = Category::kNoSaltOnly;
+    } else if (draw < (acc += p_neither)) {
+      category = Category::kNeither;
+    } else if (draw < (acc += p_nsec_only)) {
+      category = Category::kNsecOnly;
+    } else {
+      category = Category::kPlain;
+    }
+    auto index = take(category);
+    if (!index) index = take(Category::kPlain);  // graceful degradation
+    if (!index) continue;
+    entries_.push_back(
+        RankedDomain{static_cast<std::uint64_t>(entries_.size() + 1),
+                     *index});
+  }
+}
+
+}  // namespace zh::workload

@@ -1,0 +1,218 @@
+#include "workload/resolver_population.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace zh::workload {
+namespace {
+
+using resolver::RecursiveResolver;
+using resolver::ResolverProfile;
+
+/// splitmix64 for deterministic stratum assignment.
+std::uint64_t splitmix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::vector<PopulationEntry> open_v4_entries() {
+  std::vector<PopulationEntry> entries;
+  const auto direct = [&](ResolverProfile profile, double weight) {
+    entries.push_back(PopulationEntry{std::move(profile), weight, {}});
+  };
+  const auto forwarded = [&](ResolverProfile profile, double weight,
+                             std::string via) {
+    entries.push_back(
+        PopulationEntry{std::move(profile), weight, std::move(via)});
+  };
+
+  // Item 6 @ 100: 36.4 % behave like Google Public DNS — a mix of direct
+  // deployments and CPE forwarders (the paper's server logs show the
+  // forwarding targets).
+  direct(ResolverProfile::google_public_dns(), 0.20);
+  forwarded(ResolverProfile::non_validating(), 0.164, "google-public-dns");
+  // Item 6 @ 150: the 2021 open-source defaults.
+  direct(ResolverProfile::bind9_2021(), 0.10);
+  direct(ResolverProfile::unbound(), 0.06);
+  direct(ResolverProfile::knot_2021(), 0.03);
+  direct(ResolverProfile::powerdns_2021(), 0.024);
+  direct(ResolverProfile::item7_violator(), 0.002);  // §5.2: 0.2 %
+  // Item 6 @ 50: CVE-2023-50868-patched (12.5× fewer than the 150 group).
+  direct(ResolverProfile::bind9_2023(), 0.012);
+  direct(ResolverProfile::knot_2023(), 0.005);
+  // Item 8 @ 150: Cloudflare/OpenDNS directly or via forwarders.
+  forwarded(ResolverProfile::non_validating(), 0.06, "cloudflare-1.1.1.1");
+  forwarded(ResolverProfile::non_validating(), 0.04, "cisco-opendns");
+  direct(ResolverProfile::cloudflare(), 0.05);
+  direct(ResolverProfile::opendns(), 0.028);
+  // Item 8 oddballs.
+  direct(ResolverProfile::technitium(), 0.0009);   // 92 of 105.2 K
+  direct(ResolverProfile::strict_zero(), 0.004);   // 418 of 105.2 K
+  // Item 12 gap (§5.2: 4.3 % show a gap, mostly flaky — modelled small).
+  direct(ResolverProfile::item12_gap(), 0.01);
+  // No RFC 9276 limit at all (the RFC 5155 ceiling still applies).
+  direct(ResolverProfile::permissive(), 0.21);
+  return entries;
+}
+
+std::vector<PopulationEntry> open_v6_entries() {
+  std::vector<PopulationEntry> entries = open_v4_entries();
+  // IPv6 responders skew towards modern deployments: fewer broken CPE
+  // devices, more direct public-resolver anycast.
+  for (auto& entry : entries) {
+    if (entry.profile.name == "strict-zero") entry.weight = 0.0005;
+    if (entry.profile.name == "permissive") entry.weight = 0.24;
+  }
+  return entries;
+}
+
+std::vector<PopulationEntry> closed_entries() {
+  std::vector<PopulationEntry> entries = open_v4_entries();
+  // RIPE Atlas probes sit behind ISP/enterprise resolvers: hardly any
+  // strict-zero devices, fewer Google-behaviour forwarders.
+  for (auto& entry : entries) {
+    if (entry.profile.name == "strict-zero") entry.weight = 0.0;
+    if (entry.profile.name == "technitium") entry.weight = 0.0;
+    if (entry.profile.name == "google-public-dns") entry.weight = 0.16;
+    if (entry.profile.name == "non-validating" &&
+        entry.forward_via == "google-public-dns")
+      entry.weight = 0.12;
+    if (entry.profile.name == "bind9-9.16.16") entry.weight = 0.15;
+    if (entry.profile.name == "unbound-1.13.2") entry.weight = 0.08;
+    // Managed ISP/enterprise resolvers patched CVE-2023-50868 earlier than
+    // the open population (keeps the paper's aggregate 12.5× ratio between
+    // the 150- and 50-limit groups).
+    if (entry.profile.name == "bind9-9.19.19") entry.weight = 0.021;
+    if (entry.profile.name == "knot-resolver-5.7") entry.weight = 0.010;
+    if (entry.profile.name == "permissive") entry.weight = 0.17;
+  }
+  return entries;
+}
+
+}  // namespace
+
+std::string to_string(Panel panel) {
+  switch (panel) {
+    case Panel::kOpenV4: return "open-ipv4";
+    case Panel::kOpenV6: return "open-ipv6";
+    case Panel::kClosedV4: return "closed-ipv4";
+    case Panel::kClosedV6: return "closed-ipv6";
+  }
+  return "?";
+}
+
+PanelSpec figure3_panel(Panel panel, double resolver_scale) {
+  PanelSpec spec;
+  spec.panel = panel;
+  switch (panel) {
+    case Panel::kOpenV4:
+      spec.validator_count = static_cast<std::size_t>(105200 * resolver_scale);
+      spec.entries = open_v4_entries();
+      break;
+    case Panel::kOpenV6:
+      spec.validator_count = static_cast<std::size_t>(6800 * resolver_scale);
+      spec.entries = open_v6_entries();
+      break;
+    case Panel::kClosedV4:
+      spec.validator_count = 1236;  // small enough: no scaling
+      spec.entries = closed_entries();
+      break;
+    case Panel::kClosedV6:
+      spec.validator_count = 689;
+      spec.entries = closed_entries();
+      break;
+  }
+  spec.validator_count = std::max<std::size_t>(spec.validator_count, 50);
+  // ~10 % extra plain resolvers that the validator filter must reject.
+  spec.non_validator_count = spec.validator_count / 10;
+  return spec;
+}
+
+BuiltPopulation instantiate_panel(testbed::Internet& internet,
+                                  const PanelSpec& spec,
+                                  std::uint32_t address_base,
+                                  std::uint64_t seed) {
+  BuiltPopulation built;
+  const bool v6 =
+      spec.panel == Panel::kOpenV6 || spec.panel == Panel::kClosedV6;
+
+  // Shared public-resolver upstreams for the forwarder strata.
+  std::unordered_map<std::string, simnet::IpAddress> upstreams;
+  std::uint32_t next = address_base;
+  // Skip any address already taken (TLD/operator servers live in the low
+  // 10.0/16 range; colliding would silently replace an authoritative node).
+  const auto fresh_address = [&] {
+    for (;;) {
+      const auto address = simnet::IpAddress::from_index(v6, next++);
+      if (!internet.network().is_attached(address)) return address;
+    }
+  };
+  const auto upstream_for = [&](const std::string& name) {
+    const auto it = upstreams.find(name);
+    if (it != upstreams.end()) return it->second;
+    ResolverProfile profile;
+    if (name == "google-public-dns")
+      profile = ResolverProfile::google_public_dns();
+    else if (name == "cloudflare-1.1.1.1")
+      profile = ResolverProfile::cloudflare();
+    else
+      profile = ResolverProfile::opendns();
+    const auto address = fresh_address();
+    built.resolvers.push_back(internet.make_resolver(profile, address));
+    upstreams.emplace(name, address);
+    return address;
+  };
+
+  // Cumulative weights.
+  std::vector<double> cumulative;
+  double acc = 0.0;
+  for (const auto& entry : spec.entries) {
+    acc += entry.weight;
+    cumulative.push_back(acc);
+  }
+
+  for (std::size_t i = 0; i < spec.validator_count; ++i) {
+    const double draw =
+        static_cast<double>(splitmix(seed ^ (i * 2 + 1)) >> 11) /
+        9007199254740992.0 * acc;
+    std::size_t slot = static_cast<std::size_t>(
+        std::lower_bound(cumulative.begin(), cumulative.end(), draw) -
+        cumulative.begin());
+    if (slot >= spec.entries.size()) slot = spec.entries.size() - 1;
+    const PopulationEntry& entry = spec.entries[slot];
+
+    const auto address = fresh_address();
+    if (entry.forward_via.empty()) {
+      built.resolvers.push_back(
+          internet.make_resolver(entry.profile, address));
+      built.members.push_back(
+          PopulationMember{address, entry.profile.name, true});
+    } else {
+      RecursiveResolver::Config config;
+      config.address = address;
+      config.profile = entry.profile;
+      config.forward = true;
+      config.forward_target = upstream_for(entry.forward_via);
+      config.trust_anchor = internet.trust_anchor();
+      auto fwd = std::make_unique<RecursiveResolver>(
+          internet.network(), std::move(config), internet.root_servers());
+      fwd->attach();
+      built.resolvers.push_back(std::move(fwd));
+      built.members.push_back(PopulationMember{
+          address, "forward:" + entry.forward_via, true});
+    }
+  }
+
+  for (std::size_t i = 0; i < spec.non_validator_count; ++i) {
+    const auto address = fresh_address();
+    built.resolvers.push_back(
+        internet.make_resolver(ResolverProfile::non_validating(), address));
+    built.members.push_back(
+        PopulationMember{address, "non-validating", false});
+  }
+  return built;
+}
+
+}  // namespace zh::workload

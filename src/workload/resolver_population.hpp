@@ -1,0 +1,69 @@
+// Resolver populations for Figure 3 — four panels (open/closed × IPv4/IPv6)
+// of DNSSEC validators whose behaviour mixture is calibrated to §5.2:
+//
+//   59.9 % implement Item 6 (insecure above a limit): thresholds mostly 150,
+//   36.4 % of open-IPv4 validators behave like Google (limit 100), the
+//   CVE-patched 50-limit group is 12.5× smaller than the 150 group;
+//   18.4 % implement Item 8 (SERVFAIL), mostly at 150 — partly forwarders
+//   to Cloudflare/OpenDNS; 418 strict-zero devices (SERVFAIL from it-1,
+//   RA-copy quirk); 92 Technitium-like (SERVFAIL from it-101, EDE 27 +
+//   EXTRA-TEXT); 0.2 % Item 7 violators; a small Item 12 gap group;
+//   the rest validate with no RFC 9276 limit.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "resolver/resolver.hpp"
+#include "testbed/internet.hpp"
+
+namespace zh::workload {
+
+enum class Panel { kOpenV4, kOpenV6, kClosedV4, kClosedV6 };
+
+std::string to_string(Panel panel);
+
+/// One behaviour stratum of a panel.
+struct PopulationEntry {
+  resolver::ResolverProfile profile;
+  double weight = 0.0;
+  /// If set, instances forward to a shared public-resolver instance with
+  /// this profile name ("cloudflare-1.1.1.1", ...), mirroring the CPE
+  /// forwarders the paper identifies via server-side logs.
+  std::string forward_via;
+};
+
+struct PanelSpec {
+  Panel panel = Panel::kOpenV4;
+  std::size_t validator_count = 0;      // after scaling
+  std::size_t non_validator_count = 0;  // excluded by the §4.2 filter
+  std::vector<PopulationEntry> entries;
+};
+
+/// Paper populations: 105.2 K / 6.8 K open, 1,236 / 689 closed validators.
+/// `resolver_scale` scales the open panels (closed panels are small enough
+/// to instantiate fully).
+PanelSpec figure3_panel(Panel panel, double resolver_scale = 0.01);
+
+/// One instantiated resolver and its ground-truth stratum (the prober does
+/// not see this; it is used to sanity-check inference in tests).
+struct PopulationMember {
+  simnet::IpAddress address;
+  std::string stratum;
+  bool validating = true;
+};
+
+struct BuiltPopulation {
+  std::vector<std::unique_ptr<resolver::RecursiveResolver>> resolvers;
+  std::vector<PopulationMember> members;
+};
+
+/// Instantiates a panel on the internet. Addresses are allocated from
+/// `address_base` upward (v4/v6 chosen by the panel).
+BuiltPopulation instantiate_panel(testbed::Internet& internet,
+                                  const PanelSpec& spec,
+                                  std::uint32_t address_base,
+                                  std::uint64_t seed = 7);
+
+}  // namespace zh::workload

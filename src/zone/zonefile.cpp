@@ -1,0 +1,386 @@
+#include "zone/zonefile.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "dns/dnssec.hpp"
+#include "dns/encoding.hpp"
+
+namespace zh::zone {
+namespace {
+
+using dns::Name;
+using dns::RdataBytes;
+using dns::ResourceRecord;
+using dns::RrType;
+
+/// Whitespace tokenizer with double-quote support (TXT strings).
+std::optional<std::vector<std::string>> tokenize(std::string_view line) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    if (i >= line.size()) break;
+    if (line[i] == '"') {
+      const std::size_t end = line.find('"', i + 1);
+      if (end == std::string_view::npos) return std::nullopt;
+      tokens.push_back("\"" + std::string(line.substr(i + 1, end - i - 1)));
+      i = end + 1;
+    } else {
+      std::size_t end = i;
+      while (end < line.size() && line[end] != ' ' && line[end] != '\t')
+        ++end;
+      tokens.emplace_back(line.substr(i, end - i));
+      i = end;
+    }
+  }
+  return tokens;
+}
+
+bool fail(std::string* error, std::string message) {
+  if (error) *error = std::move(message);
+  return false;
+}
+
+std::optional<std::uint64_t> parse_number(const std::string& token) {
+  if (token.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  for (const char c : token) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+/// Parses a type bitmap written as space-separated mnemonics.
+std::optional<dns::TypeBitmap> parse_bitmap(
+    const std::vector<std::string>& tokens, std::size_t from) {
+  dns::TypeBitmap bitmap;
+  for (std::size_t i = from; i < tokens.size(); ++i) {
+    const auto type = dns::rr_type_from_string(tokens[i]);
+    if (!type) return std::nullopt;
+    bitmap.insert(*type);
+  }
+  return bitmap;
+}
+
+std::optional<std::vector<std::uint8_t>> parse_salt(const std::string& token) {
+  if (token == "-") return std::vector<std::uint8_t>{};
+  return dns::base16_decode(token);
+}
+
+std::optional<RdataBytes> parse_rdata(RrType type,
+                                      const std::vector<std::string>& t,
+                                      std::size_t i) {
+  const auto need = [&](std::size_t n) { return t.size() >= i + n; };
+  switch (type) {
+    case RrType::kA: {
+      if (!need(1)) return std::nullopt;
+      dns::ARdata a;
+      unsigned b0, b1, b2, b3;
+      if (std::sscanf(t[i].c_str(), "%u.%u.%u.%u", &b0, &b1, &b2, &b3) != 4)
+        return std::nullopt;
+      if (b0 > 255 || b1 > 255 || b2 > 255 || b3 > 255) return std::nullopt;
+      a.address = {static_cast<std::uint8_t>(b0),
+                   static_cast<std::uint8_t>(b1),
+                   static_cast<std::uint8_t>(b2),
+                   static_cast<std::uint8_t>(b3)};
+      return a.encode();
+    }
+    case RrType::kAaaa: {
+      if (!need(1)) return std::nullopt;
+      dns::AaaaRdata a;
+      unsigned groups[8];
+      if (std::sscanf(t[i].c_str(), "%x:%x:%x:%x:%x:%x:%x:%x", &groups[0],
+                      &groups[1], &groups[2], &groups[3], &groups[4],
+                      &groups[5], &groups[6], &groups[7]) != 8)
+        return std::nullopt;
+      for (int g = 0; g < 8; ++g) {
+        if (groups[g] > 0xffff) return std::nullopt;
+        a.address[static_cast<std::size_t>(2 * g)] =
+            static_cast<std::uint8_t>(groups[g] >> 8);
+        a.address[static_cast<std::size_t>(2 * g + 1)] =
+            static_cast<std::uint8_t>(groups[g]);
+      }
+      return a.encode();
+    }
+    case RrType::kNs: {
+      if (!need(1)) return std::nullopt;
+      const auto name = Name::parse(t[i]);
+      if (!name) return std::nullopt;
+      return dns::NsRdata{*name}.encode();
+    }
+    case RrType::kCname: {
+      if (!need(1)) return std::nullopt;
+      const auto name = Name::parse(t[i]);
+      if (!name) return std::nullopt;
+      return dns::CnameRdata{*name}.encode();
+    }
+    case RrType::kMx: {
+      if (!need(2)) return std::nullopt;
+      const auto preference = parse_number(t[i]);
+      const auto name = Name::parse(t[i + 1]);
+      if (!preference || !name) return std::nullopt;
+      return dns::MxRdata{static_cast<std::uint16_t>(*preference), *name}
+          .encode();
+    }
+    case RrType::kTxt: {
+      dns::TxtRdata txt;
+      for (std::size_t k = i; k < t.size(); ++k) {
+        if (t[k].empty() || t[k][0] != '"') return std::nullopt;
+        txt.strings.push_back(t[k].substr(1));
+      }
+      if (txt.strings.empty()) return std::nullopt;
+      return txt.encode();
+    }
+    case RrType::kSoa: {
+      if (!need(7)) return std::nullopt;
+      dns::SoaRdata soa;
+      const auto mname = Name::parse(t[i]);
+      const auto rname = Name::parse(t[i + 1]);
+      if (!mname || !rname) return std::nullopt;
+      soa.mname = *mname;
+      soa.rname = *rname;
+      const auto serial = parse_number(t[i + 2]);
+      const auto refresh = parse_number(t[i + 3]);
+      const auto retry = parse_number(t[i + 4]);
+      const auto expire = parse_number(t[i + 5]);
+      const auto minimum = parse_number(t[i + 6]);
+      if (!serial || !refresh || !retry || !expire || !minimum)
+        return std::nullopt;
+      soa.serial = static_cast<std::uint32_t>(*serial);
+      soa.refresh = static_cast<std::uint32_t>(*refresh);
+      soa.retry = static_cast<std::uint32_t>(*retry);
+      soa.expire = static_cast<std::uint32_t>(*expire);
+      soa.minimum = static_cast<std::uint32_t>(*minimum);
+      return soa.encode();
+    }
+    case RrType::kDnskey: {
+      if (!need(4)) return std::nullopt;
+      dns::DnskeyRdata key;
+      const auto flags = parse_number(t[i]);
+      const auto protocol = parse_number(t[i + 1]);
+      const auto algorithm = parse_number(t[i + 2]);
+      const auto blob = dns::base64_decode(t[i + 3]);
+      if (!flags || !protocol || !algorithm || !blob) return std::nullopt;
+      key.flags = static_cast<std::uint16_t>(*flags);
+      key.protocol = static_cast<std::uint8_t>(*protocol);
+      key.algorithm = static_cast<std::uint8_t>(*algorithm);
+      key.public_key = *blob;
+      return key.encode();
+    }
+    case RrType::kDs: {
+      if (!need(4)) return std::nullopt;
+      dns::DsRdata ds;
+      const auto key_tag = parse_number(t[i]);
+      const auto algorithm = parse_number(t[i + 1]);
+      const auto digest_type = parse_number(t[i + 2]);
+      const auto digest = dns::base16_decode(t[i + 3]);
+      if (!key_tag || !algorithm || !digest_type || !digest)
+        return std::nullopt;
+      ds.key_tag = static_cast<std::uint16_t>(*key_tag);
+      ds.algorithm = static_cast<std::uint8_t>(*algorithm);
+      ds.digest_type = static_cast<std::uint8_t>(*digest_type);
+      ds.digest = *digest;
+      return ds.encode();
+    }
+    case RrType::kRrsig: {
+      if (!need(9)) return std::nullopt;
+      dns::RrsigRdata sig;
+      const auto covered = dns::rr_type_from_string(t[i]);
+      const auto algorithm = parse_number(t[i + 1]);
+      const auto labels = parse_number(t[i + 2]);
+      const auto original_ttl = parse_number(t[i + 3]);
+      const auto expiration = parse_number(t[i + 4]);
+      const auto inception = parse_number(t[i + 5]);
+      const auto key_tag = parse_number(t[i + 6]);
+      const auto signer = Name::parse(t[i + 7]);
+      const auto signature = dns::base64_decode(t[i + 8]);
+      if (!covered || !algorithm || !labels || !original_ttl || !expiration ||
+          !inception || !key_tag || !signer || !signature)
+        return std::nullopt;
+      sig.type_covered = static_cast<std::uint16_t>(*covered);
+      sig.algorithm = static_cast<std::uint8_t>(*algorithm);
+      sig.labels = static_cast<std::uint8_t>(*labels);
+      sig.original_ttl = static_cast<std::uint32_t>(*original_ttl);
+      sig.expiration = static_cast<std::uint32_t>(*expiration);
+      sig.inception = static_cast<std::uint32_t>(*inception);
+      sig.key_tag = static_cast<std::uint16_t>(*key_tag);
+      sig.signer = *signer;
+      sig.signature = *signature;
+      return sig.encode();
+    }
+    case RrType::kNsec: {
+      if (!need(1)) return std::nullopt;
+      dns::NsecRdata nsec;
+      const auto next = Name::parse(t[i]);
+      if (!next) return std::nullopt;
+      nsec.next_domain = *next;
+      const auto bitmap = parse_bitmap(t, i + 1);
+      if (!bitmap) return std::nullopt;
+      nsec.types = *bitmap;
+      return nsec.encode();
+    }
+    case RrType::kNsec3: {
+      if (!need(5)) return std::nullopt;
+      dns::Nsec3Rdata nsec3;
+      const auto algorithm = parse_number(t[i]);
+      const auto flags = parse_number(t[i + 1]);
+      const auto iterations = parse_number(t[i + 2]);
+      const auto salt = parse_salt(t[i + 3]);
+      const auto next_hash = dns::base32hex_decode(t[i + 4]);
+      if (!algorithm || !flags || !iterations || !salt || !next_hash)
+        return std::nullopt;
+      nsec3.hash_algorithm = static_cast<std::uint8_t>(*algorithm);
+      nsec3.flags = static_cast<std::uint8_t>(*flags);
+      nsec3.iterations = static_cast<std::uint16_t>(*iterations);
+      nsec3.salt = *salt;
+      nsec3.next_hash = *next_hash;
+      const auto bitmap = parse_bitmap(t, i + 5);
+      if (!bitmap) return std::nullopt;
+      nsec3.types = *bitmap;
+      return nsec3.encode();
+    }
+    case RrType::kNsec3Param: {
+      if (!need(4)) return std::nullopt;
+      dns::Nsec3ParamRdata param;
+      const auto algorithm = parse_number(t[i]);
+      const auto flags = parse_number(t[i + 1]);
+      const auto iterations = parse_number(t[i + 2]);
+      const auto salt = parse_salt(t[i + 3]);
+      if (!algorithm || !flags || !iterations || !salt) return std::nullopt;
+      param.hash_algorithm = static_cast<std::uint8_t>(*algorithm);
+      param.flags = static_cast<std::uint8_t>(*flags);
+      param.iterations = static_cast<std::uint16_t>(*iterations);
+      param.salt = *salt;
+      return param.encode();
+    }
+    default: {
+      // Generic form: \# <len> <hex>.
+      if (!need(3) || t[i] != "\\#") return std::nullopt;
+      const auto len = parse_number(t[i + 1]);
+      const auto blob = dns::base16_decode(t[i + 2]);
+      if (!len || !blob || blob->size() != *len) return std::nullopt;
+      return *blob;
+    }
+  }
+}
+
+}  // namespace
+
+std::optional<ResourceRecord> parse_record_line(std::string_view line,
+                                                std::string* error) {
+  const auto tokens = tokenize(line);
+  if (!tokens || tokens->size() < 4) {
+    fail(error, "expected: <owner> <ttl> IN <TYPE> <rdata...>");
+    return std::nullopt;
+  }
+  const auto& t = *tokens;
+  const auto owner = Name::parse(t[0]);
+  if (!owner) {
+    fail(error, "bad owner name: " + t[0]);
+    return std::nullopt;
+  }
+  const auto ttl = parse_number(t[1]);
+  if (!ttl || *ttl > 0xffffffffull) {
+    fail(error, "bad TTL: " + t[1]);
+    return std::nullopt;
+  }
+  if (t[2] != "IN") {
+    fail(error, "only class IN is supported, got: " + t[2]);
+    return std::nullopt;
+  }
+  const auto type = dns::rr_type_from_string(t[3]);
+  if (!type) {
+    fail(error, "unknown type: " + t[3]);
+    return std::nullopt;
+  }
+  const auto rdata = parse_rdata(*type, t, 4);
+  if (!rdata) {
+    fail(error, "bad rdata for " + t[3] + ": " + std::string(line));
+    return std::nullopt;
+  }
+  return ResourceRecord{*owner, *type, dns::RrClass::kIn,
+                        static_cast<std::uint32_t>(*ttl), *rdata};
+}
+
+std::optional<Zone> parse_zone_text(std::string_view text, const Name& apex,
+                                    std::string* error) {
+  std::vector<ResourceRecord> records;
+  std::size_t start = 0;
+  std::size_t line_number = 0;
+  while (start <= text.size()) {
+    const std::size_t end = text.find('\n', start);
+    const std::string_view line =
+        text.substr(start, end == std::string_view::npos ? std::string_view::npos
+                                                         : end - start);
+    ++line_number;
+    if (!line.empty() && line[0] != ';') {
+      auto record = parse_record_line(line, error);
+      if (!record) {
+        if (error)
+          *error = "line " + std::to_string(line_number) + ": " + *error;
+        return std::nullopt;
+      }
+      records.push_back(*std::move(record));
+    }
+    if (end == std::string_view::npos) break;
+    start = end + 1;
+  }
+
+  Zone zone(apex);
+
+  // Route NSEC3 records (and their RRSIGs) into the chain.
+  std::vector<Nsec3ChainEntry> chain;
+  std::vector<ResourceRecord> chain_sigs;
+  std::optional<Nsec3Params> params;
+
+  for (const auto& rr : records) {
+    if (rr.type == RrType::kNsec3) {
+      const auto hash = dns::nsec3_owner_hash(rr.name, apex);
+      const auto rdata = rr.as<dns::Nsec3Rdata>();
+      if (!hash || !rdata) {
+        fail(error, "NSEC3 record with non-hash owner: " + rr.name.to_string());
+        return std::nullopt;
+      }
+      Nsec3ChainEntry entry;
+      entry.hash = *hash;
+      entry.owner = rr.name;
+      entry.rdata = *rdata;
+      entry.ttl = rr.ttl;
+      chain.push_back(std::move(entry));
+      if (!params) {
+        params = Nsec3Params{rdata->iterations, rdata->salt, rdata->opt_out()};
+      }
+      continue;
+    }
+    if (rr.type == RrType::kRrsig) {
+      const auto sig = rr.as<dns::RrsigRdata>();
+      if (sig && sig->covered() == RrType::kNsec3) {
+        chain_sigs.push_back(rr);
+        continue;
+      }
+    }
+    if (!zone.add(rr)) {
+      fail(error, "record outside zone: " + rr.name.to_string());
+      return std::nullopt;
+    }
+  }
+
+  if (!chain.empty()) {
+    std::sort(chain.begin(), chain.end(),
+              [](const Nsec3ChainEntry& a, const Nsec3ChainEntry& b) {
+                return a.hash < b.hash;
+              });
+    for (auto& entry : chain) {
+      for (const auto& sig : chain_sigs) {
+        if (sig.name.equals(entry.owner)) entry.rrsigs.push_back(sig);
+      }
+    }
+    zone.set_nsec3_chain(std::move(chain), *params);
+  }
+  return zone;
+}
+
+}  // namespace zh::zone

@@ -1,0 +1,29 @@
+// Presentation-format zone I/O: parses the record syntax Zone::to_text /
+// ResourceRecord::to_string emit (one record per line, RFC 1035-style),
+// reconstructing signed zones including their NSEC3 chains. Lets operators
+// round-trip zones through text — and gives the tests golden-file checks.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "dns/rr.hpp"
+#include "zone/zone.hpp"
+
+namespace zh::zone {
+
+/// Parses one record line ("owner ttl IN TYPE rdata..."). On failure
+/// returns nullopt and, if given, fills `error`.
+std::optional<dns::ResourceRecord> parse_record_line(
+    std::string_view line, std::string* error = nullptr);
+
+/// Parses a whole zone dump into a Zone anchored at `apex`. Lines that are
+/// empty or start with ';' are skipped. NSEC3 records (hash-label owners)
+/// and their RRSIGs are routed into the zone's NSEC3 chain rather than the
+/// name tree, mirroring how the signer stores them.
+std::optional<Zone> parse_zone_text(std::string_view text,
+                                    const dns::Name& apex,
+                                    std::string* error = nullptr);
+
+}  // namespace zh::zone

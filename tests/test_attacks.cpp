@@ -1,0 +1,178 @@
+// Tests for the attack tooling: NSEC zone walking, the NSEC3 offline
+// dictionary attack, and the on-path iteration-count downgrade attack —
+// the threats behind NSEC3's existence and RFC 9276 Items 7/12.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "scanner/downgrade.hpp"
+#include "scanner/zone_walker.hpp"
+#include "testbed/internet.hpp"
+
+namespace zh::scanner {
+namespace {
+
+using dns::Name;
+using dns::Rcode;
+using dns::RrType;
+using simnet::IpAddress;
+
+class AttackTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    internet_ = new testbed::Internet();
+    internet_->add_tld("com", testbed::TldConfig{});
+
+    // An NSEC-signed zone with several guessable subdomains: the zone-walk
+    // victim.
+    testbed::DomainConfig nsec_zone;
+    nsec_zone.apex = Name::must_parse("walkme.com");
+    nsec_zone.denial = zone::DenialMode::kNsec;
+    nsec_zone.standard_records = false;
+    for (const char* label : {"mail", "api", "shop", "dev"}) {
+      nsec_zone.extra_records.push_back(dns::make_a(
+          *nsec_zone.apex.prepended(label), 300, 192, 0, 2, 77));
+    }
+    nsec_zone.extra_records.push_back(
+        dns::make_a(nsec_zone.apex, 300, 192, 0, 2, 70));
+    internet_->add_domain(nsec_zone);
+
+    // An NSEC3 zone with the same layout (2 iterations, salted): the
+    // dictionary-attack victim.
+    testbed::DomainConfig nsec3_zone;
+    nsec3_zone.apex = Name::must_parse("hashme.com");
+    nsec3_zone.nsec3 = {.iterations = 2, .salt = {0xde, 0xad},
+                        .opt_out = false};
+    nsec3_zone.standard_records = false;
+    for (const char* label : {"mail", "api", "secret-x9"}) {
+      nsec3_zone.extra_records.push_back(dns::make_a(
+          *nsec3_zone.apex.prepended(label), 300, 192, 0, 2, 78));
+    }
+    nsec3_zone.extra_records.push_back(
+        dns::make_a(nsec3_zone.apex, 300, 192, 0, 2, 71));
+    internet_->add_domain(nsec3_zone);
+
+    internet_->build();
+    resolver_ = internet_
+                    ->make_resolver(resolver::ResolverProfile::cloudflare(),
+                                    IpAddress::v4(1, 1, 1, 1))
+                    .release();
+  }
+  static void TearDownTestSuite() {
+    delete resolver_;
+    delete internet_;
+  }
+
+  static testbed::Internet* internet_;
+  static resolver::RecursiveResolver* resolver_;
+};
+
+testbed::Internet* AttackTest::internet_ = nullptr;
+resolver::RecursiveResolver* AttackTest::resolver_ = nullptr;
+
+TEST_F(AttackTest, NsecWalkEnumeratesTheZone) {
+  NsecWalker walker(internet_->network(), IpAddress::v4(203, 0, 113, 66),
+                    resolver_->address());
+  const NsecWalkResult result = walker.walk(Name::must_parse("walkme.com"));
+  EXPECT_TRUE(result.complete);
+
+  std::set<std::string> found;
+  for (const auto& name : result.names)
+    found.insert(name.canonical().to_string());
+  for (const char* label : {"mail", "api", "shop", "dev"}) {
+    EXPECT_TRUE(found.count(std::string(label) + ".walkme.com.") > 0)
+        << label << " not enumerated";
+  }
+  // One query per chain step — enumeration is linear, the paper's §2.2
+  // motivation for NSEC3.
+  EXPECT_LE(result.queries, found.size() + 3);
+}
+
+TEST_F(AttackTest, NsecWalkFindsNothingOnNsec3Zones) {
+  NsecWalker walker(internet_->network(), IpAddress::v4(203, 0, 113, 67),
+                    resolver_->address());
+  const NsecWalkResult result = walker.walk(Name::must_parse("hashme.com"),
+                                            /*max_steps=*/50);
+  EXPECT_TRUE(result.names.empty())
+      << "NSEC3 zones expose no plain-text chain";
+}
+
+TEST_F(AttackTest, Nsec3DictionaryAttackCracksGuessableNames) {
+  Nsec3DictionaryAttack attack(internet_->network(),
+                               IpAddress::v4(203, 0, 113, 68),
+                               resolver_->address());
+  const auto result = attack.run(Name::must_parse("hashme.com"),
+                                 Nsec3DictionaryAttack::default_dictionary());
+
+  EXPECT_EQ(result.iterations, 2);
+  EXPECT_EQ(result.salt.size(), 2u);
+  EXPECT_GE(result.chain_hashes, 4u);  // apex + 3 children
+
+  std::set<std::string> cracked;
+  for (const auto& c : result.cracked)
+    cracked.insert(c.name.canonical().to_string());
+  EXPECT_TRUE(cracked.count("hashme.com.") > 0);
+  EXPECT_TRUE(cracked.count("mail.hashme.com.") > 0);
+  EXPECT_TRUE(cracked.count("api.hashme.com.") > 0);
+  // The non-dictionary name stays hidden — hashing helps only for these.
+  EXPECT_FALSE(cracked.count("secret-x9.hashme.com.") > 0);
+}
+
+TEST_F(AttackTest, AttackerCostScalesWithIterationsLikeValidators) {
+  Nsec3DictionaryAttack attack(internet_->network(),
+                               IpAddress::v4(203, 0, 113, 69),
+                               resolver_->address());
+  const auto dictionary = Nsec3DictionaryAttack::default_dictionary();
+  const auto result = attack.run(Name::must_parse("hashme.com"), dictionary);
+  ASSERT_GT(result.offline_hashes, 0u);
+  // 2 additional iterations → 3 SHA-1 applications per short guess.
+  EXPECT_GE(result.offline_sha1_blocks, result.offline_hashes * 3);
+  EXPECT_LE(result.offline_sha1_blocks, result.offline_hashes * 6);
+}
+
+TEST_F(AttackTest, DowngradeAttackFoiledByItem7Compliance) {
+  auto victim = internet_->make_resolver(
+      resolver::ResolverProfile::bind9_2021(),  // Item 7 compliant
+      IpAddress::v4(203, 0, 113, 70));
+  internet_->network().set_tamper(
+      make_downgrade_attacker(Name::must_parse("hashme.com"), 2000));
+
+  const auto response = victim->resolve(
+      Name::must_parse("ghost.hashme.com"), RrType::kA);
+  internet_->network().set_tamper(nullptr);
+
+  // Forged iteration count exceeds the limit, but the RRSIG check fires
+  // first: the resolver fails closed instead of downgrading.
+  EXPECT_EQ(response.header.rcode, Rcode::kServFail);
+  EXPECT_GT(internet_->network().tampered_responses(), 0u);
+}
+
+TEST_F(AttackTest, DowngradeAttackSucceedsAgainstItem7Violator) {
+  auto victim = internet_->make_resolver(
+      resolver::ResolverProfile::item7_violator(),
+      IpAddress::v4(203, 0, 113, 71));
+  internet_->network().set_tamper(
+      make_downgrade_attacker(Name::must_parse("hashme.com"), 2000));
+
+  const auto response = victim->resolve(
+      Name::must_parse("ghost2.hashme.com"), RrType::kA);
+  internet_->network().set_tamper(nullptr);
+
+  // The victim trusted the forged count: insecure NXDOMAIN, DNSSEC off.
+  EXPECT_EQ(response.header.rcode, Rcode::kNxDomain);
+  EXPECT_FALSE(response.header.ad);
+}
+
+TEST_F(AttackTest, WithoutAttackerTheSameQueryValidates) {
+  auto victim = internet_->make_resolver(
+      resolver::ResolverProfile::bind9_2021(),
+      IpAddress::v4(203, 0, 113, 72));
+  const auto response = victim->resolve(
+      Name::must_parse("ghost3.hashme.com"), RrType::kA);
+  EXPECT_EQ(response.header.rcode, Rcode::kNxDomain);
+  EXPECT_TRUE(response.header.ad);
+}
+
+}  // namespace
+}  // namespace zh::scanner

@@ -1,0 +1,327 @@
+// Unit tests for zh::crypto: FIPS/RFC test vectors for the hash primitives,
+// HMAC vectors (RFC 4231/2202), the RFC 5155 Appendix A NSEC3 vectors, and
+// the simulated signature scheme.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "crypto/cost_meter.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/nsec3_hash.hpp"
+#include "crypto/sha1.hpp"
+#include "crypto/sha2.hpp"
+#include "crypto/signing.hpp"
+
+namespace zh::crypto {
+namespace {
+
+template <typename Digest>
+std::string hex(const Digest& digest) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  for (const std::uint8_t b : digest) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xf]);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> bytes(std::string_view s) {
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+TEST(Sha1, EmptyInput) {
+  EXPECT_EQ(hex(Sha1::hash(std::string_view{})),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1, Abc) {
+  EXPECT_EQ(hex(Sha1::hash(std::string_view{"abc"})),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, TwoBlockMessage) {
+  EXPECT_EQ(hex(Sha1::hash(std::string_view{
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"})),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, MillionAs) {
+  Sha1 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(hex(h.finalize()), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, IncrementalMatchesOneShot) {
+  const std::string data = "The quick brown fox jumps over the lazy dog";
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    Sha1 h;
+    h.update(std::string_view(data).substr(0, split));
+    h.update(std::string_view(data).substr(split));
+    EXPECT_EQ(hex(h.finalize()),
+              "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12")
+        << "split at " << split;
+  }
+}
+
+TEST(Sha1, ExactBlockBoundary) {
+  // 64 bytes: padding must spill into a second block.
+  const std::string data(64, 'x');
+  Sha1 a;
+  a.update(data);
+  Sha1 b;
+  b.update(std::string_view(data).substr(0, 32));
+  b.update(std::string_view(data).substr(32));
+  EXPECT_EQ(hex(a.finalize()), hex(b.finalize()));
+}
+
+TEST(Sha1, ResetAllowsReuse) {
+  Sha1 h;
+  h.update(std::string_view{"garbage"});
+  (void)h.finalize();
+  h.reset();
+  h.update(std::string_view{"abc"});
+  EXPECT_EQ(hex(h.finalize()), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha256, EmptyInput) {
+  EXPECT_EQ(hex(Sha256::hash(std::string_view{})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hex(Sha256::hash(std::string_view{"abc"})),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(hex(Sha256::hash(std::string_view{
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"})),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha224, Abc) {
+  const auto data = bytes("abc");
+  EXPECT_EQ(hex(Sha224::hash(std::span<const std::uint8_t>(data))),
+            "23097d223405d8228642a477bda255b32aadbce4bda0b3f7e36c9da7");
+}
+
+TEST(Sha512, Abc) {
+  const auto data = bytes("abc");
+  EXPECT_EQ(hex(Sha512::hash(std::span<const std::uint8_t>(data))),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a"
+            "2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f");
+}
+
+TEST(Sha384, Abc) {
+  const auto data = bytes("abc");
+  EXPECT_EQ(hex(Sha384::hash(std::span<const std::uint8_t>(data))),
+            "cb00753f45a35e8bb5a03d699ac65007272c32ab0eded1631a8b605a43ff5bed"
+            "8086072ba1e7cc2358baeca134c825a7");
+}
+
+TEST(Sha512, MillionAs) {
+  Sha512 h;
+  const auto chunk = bytes(std::string(1000, 'a'));
+  for (int i = 0; i < 1000; ++i)
+    h.update(std::span<const std::uint8_t>(chunk));
+  EXPECT_EQ(hex(h.finalize()),
+            "e718483d0ce769644e2e42c7bc15b4638e1f98b13b2044285632a803afa973eb"
+            "de0ff244877ea60a4cb0432ce577c31beb009c5c2c49aa2e4eadb217ad8cc09b");
+}
+
+// RFC 2202 test case 1 for HMAC-SHA1.
+TEST(Hmac, Sha1Rfc2202Case1) {
+  const std::vector<std::uint8_t> key(20, 0x0b);
+  const auto data = bytes("Hi There");
+  const auto mac =
+      Hmac<Sha1>::mac(std::span<const std::uint8_t>(key),
+                      std::span<const std::uint8_t>(data));
+  EXPECT_EQ(hex(mac), "b617318655057264e28bc0b6fb378c8ef146be00");
+}
+
+// RFC 4231 test case 1 for HMAC-SHA256.
+TEST(Hmac, Sha256Rfc4231Case1) {
+  const std::vector<std::uint8_t> key(20, 0x0b);
+  const auto data = bytes("Hi There");
+  const auto mac =
+      Hmac<Sha256>::mac(std::span<const std::uint8_t>(key),
+                        std::span<const std::uint8_t>(data));
+  EXPECT_EQ(hex(mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+// RFC 4231 test case 2: key shorter than block, "what do ya want for nothing?"
+TEST(Hmac, Sha256Rfc4231Case2) {
+  const auto key = bytes("Jefe");
+  const auto data = bytes("what do ya want for nothing?");
+  const auto mac =
+      Hmac<Sha256>::mac(std::span<const std::uint8_t>(key),
+                        std::span<const std::uint8_t>(data));
+  EXPECT_EQ(hex(mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+// RFC 4231 test case 3: 20-byte 0xaa key, 50 bytes of 0xdd.
+TEST(Hmac, Sha256Rfc4231Case3) {
+  const std::vector<std::uint8_t> key(20, 0xaa);
+  const std::vector<std::uint8_t> data(50, 0xdd);
+  const auto mac =
+      Hmac<Sha256>::mac(std::span<const std::uint8_t>(key),
+                        std::span<const std::uint8_t>(data));
+  EXPECT_EQ(hex(mac),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+// RFC 4231 test case 6: key longer than the block size (131 bytes of 0xaa).
+TEST(Hmac, Sha256LongKey) {
+  const std::vector<std::uint8_t> key(131, 0xaa);
+  const auto data = bytes("Test Using Larger Than Block-Size Key - Hash Key First");
+  const auto mac =
+      Hmac<Sha256>::mac(std::span<const std::uint8_t>(key),
+                        std::span<const std::uint8_t>(data));
+  EXPECT_EQ(hex(mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+// --- NSEC3 hash ---
+
+std::vector<std::uint8_t> wire_name(std::initializer_list<std::string> labels) {
+  std::vector<std::uint8_t> out;
+  for (const auto& label : labels) {
+    out.push_back(static_cast<std::uint8_t>(label.size()));
+    out.insert(out.end(), label.begin(), label.end());
+  }
+  out.push_back(0);
+  return out;
+}
+
+std::string base32hex(std::span<const std::uint8_t> data) {
+  static constexpr char kDigits[] = "0123456789abcdefghijklmnopqrstuv";
+  std::string out;
+  std::uint32_t bits = 0;
+  int nbits = 0;
+  for (const std::uint8_t b : data) {
+    bits = (bits << 8) | b;
+    nbits += 8;
+    while (nbits >= 5) {
+      nbits -= 5;
+      out.push_back(kDigits[(bits >> nbits) & 0x1f]);
+    }
+  }
+  if (nbits > 0) out.push_back(kDigits[(bits << (5 - nbits)) & 0x1f]);
+  return out;
+}
+
+// RFC 5155 Appendix A: zone "example", salt aabbccdd, 12 iterations.
+TEST(Nsec3Hash, Rfc5155AppendixAExample) {
+  const std::vector<std::uint8_t> salt = {0xaa, 0xbb, 0xcc, 0xdd};
+  const auto owner = wire_name({"example"});
+  const auto digest = nsec3_hash(std::span<const std::uint8_t>(owner),
+                                 std::span<const std::uint8_t>(salt), 12);
+  EXPECT_EQ(base32hex(std::span<const std::uint8_t>(digest.data(), 20)),
+            "0p9mhaveqvm6t7vbl5lop2u3t2rp3tom");
+}
+
+TEST(Nsec3Hash, Rfc5155AppendixAAExample) {
+  const std::vector<std::uint8_t> salt = {0xaa, 0xbb, 0xcc, 0xdd};
+  const auto owner = wire_name({"a", "example"});
+  const auto digest = nsec3_hash(std::span<const std::uint8_t>(owner),
+                                 std::span<const std::uint8_t>(salt), 12);
+  EXPECT_EQ(base32hex(std::span<const std::uint8_t>(digest.data(), 20)),
+            "35mthgpgcu1qg68fab165klnsnk3dpvl");
+}
+
+TEST(Nsec3Hash, ZeroIterationsIsSingleHash) {
+  CostMeter::reset();
+  const auto owner = wire_name({"www", "example", "com"});
+  (void)nsec3_hash(std::span<const std::uint8_t>(owner), {}, 0);
+  // name+salt < 55 bytes: exactly one SHA-1 block.
+  EXPECT_EQ(CostMeter::sha1_blocks(), 1u);
+  EXPECT_EQ(CostMeter::nsec3_hashes(), 1u);
+}
+
+TEST(Nsec3Hash, IterationCountScalesWork) {
+  const auto owner = wire_name({"www", "example", "com"});
+  CostMeter::reset();
+  (void)nsec3_hash(std::span<const std::uint8_t>(owner), {}, 0);
+  const auto one = CostMeter::sha1_blocks();
+  CostMeter::reset();
+  (void)nsec3_hash(std::span<const std::uint8_t>(owner), {}, 150);
+  const auto many = CostMeter::sha1_blocks();
+  EXPECT_EQ(many, one + 150);  // each extra iteration hashes 20B+salt: 1 block
+}
+
+TEST(Nsec3Hash, SaltChangesDigest) {
+  const auto owner = wire_name({"example", "com"});
+  const std::vector<std::uint8_t> salt1 = {0x01};
+  const auto d0 = nsec3_hash(std::span<const std::uint8_t>(owner), {}, 5);
+  const auto d1 = nsec3_hash(std::span<const std::uint8_t>(owner),
+                             std::span<const std::uint8_t>(salt1), 5);
+  EXPECT_NE(d0, d1);
+}
+
+TEST(Nsec3Hash, IterationChangesDigest) {
+  const auto owner = wire_name({"example", "com"});
+  const auto d0 = nsec3_hash(std::span<const std::uint8_t>(owner), {}, 0);
+  const auto d1 = nsec3_hash(std::span<const std::uint8_t>(owner), {}, 1);
+  EXPECT_NE(d0, d1);
+}
+
+// --- Simulated signatures ---
+
+TEST(SimSigning, DeterministicDerivation) {
+  const SimKey a = SimKey::derive("example.com/zsk");
+  const SimKey b = SimKey::derive("example.com/zsk");
+  EXPECT_EQ(a.public_key(), b.public_key());
+  const SimKey c = SimKey::derive("example.com/ksk");
+  EXPECT_NE(a.public_key(), c.public_key());
+}
+
+TEST(SimSigning, SignVerifyRoundTrip) {
+  const SimKey key = SimKey::derive("example.org/zsk");
+  const auto data = bytes("signed rrset bytes");
+  const auto sig = key.sign(std::span<const std::uint8_t>(data));
+  EXPECT_TRUE(sim_verify(key.public_key(), std::span<const std::uint8_t>(data),
+                         std::span<const std::uint8_t>(sig.data(), sig.size())));
+}
+
+TEST(SimSigning, TamperedDataFailsVerification) {
+  const SimKey key = SimKey::derive("example.org/zsk");
+  auto data = bytes("signed rrset bytes");
+  const auto sig = key.sign(std::span<const std::uint8_t>(data));
+  data[3] ^= 0x01;
+  EXPECT_FALSE(sim_verify(key.public_key(), std::span<const std::uint8_t>(data),
+                          std::span<const std::uint8_t>(sig.data(), sig.size())));
+}
+
+TEST(SimSigning, WrongKeyFailsVerification) {
+  const SimKey key = SimKey::derive("example.org/zsk");
+  const SimKey other = SimKey::derive("evil.example/zsk");
+  const auto data = bytes("signed rrset bytes");
+  const auto sig = key.sign(std::span<const std::uint8_t>(data));
+  EXPECT_FALSE(
+      sim_verify(other.public_key(), std::span<const std::uint8_t>(data),
+                 std::span<const std::uint8_t>(sig.data(), sig.size())));
+}
+
+TEST(SimSigning, TruncatedSignatureRejected) {
+  const SimKey key = SimKey::derive("example.org/zsk");
+  const auto data = bytes("payload");
+  const auto sig = key.sign(std::span<const std::uint8_t>(data));
+  EXPECT_FALSE(sim_verify(key.public_key(), std::span<const std::uint8_t>(data),
+                          std::span<const std::uint8_t>(sig.data(), 31)));
+}
+
+TEST(CostMeter, ScopedMeasurement) {
+  CostMeter::reset();
+  Sha1WorkScope scope;
+  (void)Sha1::hash(std::string_view{"abc"});
+  EXPECT_EQ(scope.elapsed(), 1u);
+  (void)Sha1::hash(std::string_view(std::string(200, 'x')));
+  EXPECT_GE(scope.elapsed(), 4u);
+}
+
+}  // namespace
+}  // namespace zh::crypto

@@ -1,0 +1,238 @@
+// Property tests for the wire codec: randomly generated messages must
+// round-trip semantically; random truncations and byte-flips must never
+// crash or leak past bounds (the scanner parses untrusted responses).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "dns/message.hpp"
+
+namespace zh::dns {
+namespace {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+  std::uint32_t below(std::uint32_t n) {
+    return static_cast<std::uint32_t>(engine_() % n);
+  }
+  bool chance(double p) {
+    return std::uniform_real_distribution<double>(0, 1)(engine_) < p;
+  }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+Name random_name(Rng& rng) {
+  static constexpr char kChars[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-";
+  const std::uint32_t labels = 1 + rng.below(5);
+  std::vector<std::string> parts;
+  for (std::uint32_t i = 0; i < labels; ++i) {
+    const std::uint32_t len = 1 + rng.below(12);
+    std::string label;
+    for (std::uint32_t j = 0; j < len; ++j)
+      label.push_back(kChars[rng.below(sizeof kChars - 1)]);
+    parts.push_back(std::move(label));
+  }
+  const auto name = Name::from_labels(std::move(parts));
+  return name ? *name : Name::must_parse("fallback.example");
+}
+
+ResourceRecord random_record(Rng& rng) {
+  const Name owner = random_name(rng);
+  const std::uint32_t ttl = rng.below(86400);
+  switch (rng.below(8)) {
+    case 0:
+      return make_a(owner, ttl, static_cast<std::uint8_t>(rng.below(256)),
+                    static_cast<std::uint8_t>(rng.below(256)),
+                    static_cast<std::uint8_t>(rng.below(256)),
+                    static_cast<std::uint8_t>(rng.below(256)));
+    case 1:
+      return make_ns(owner, ttl, random_name(rng));
+    case 2:
+      return make_txt(owner, ttl, "random text " + owner.to_string());
+    case 3: {
+      SoaRdata soa;
+      soa.mname = random_name(rng);
+      soa.rname = random_name(rng);
+      soa.serial = rng.below(1u << 31);
+      return ResourceRecord::make(owner, RrType::kSoa, ttl, soa);
+    }
+    case 4: {
+      CnameRdata cname;
+      cname.target = random_name(rng);
+      return ResourceRecord::make(owner, RrType::kCname, ttl, cname);
+    }
+    case 5: {
+      Nsec3Rdata nsec3;
+      nsec3.iterations = static_cast<std::uint16_t>(rng.below(2501));
+      nsec3.flags = rng.chance(0.3) ? Nsec3Rdata::kFlagOptOut : 0;
+      nsec3.salt.resize(rng.below(48));
+      for (auto& b : nsec3.salt)
+        b = static_cast<std::uint8_t>(rng.below(256));
+      nsec3.next_hash.resize(20);
+      for (auto& b : nsec3.next_hash)
+        b = static_cast<std::uint8_t>(rng.below(256));
+      nsec3.types = TypeBitmap({RrType::kA, RrType::kRrsig});
+      return ResourceRecord::make(owner, RrType::kNsec3, ttl, nsec3);
+    }
+    case 6: {
+      RrsigRdata sig;
+      sig.type_covered = static_cast<std::uint16_t>(RrType::kA);
+      sig.algorithm = 253;
+      sig.labels = static_cast<std::uint8_t>(owner.label_count());
+      sig.original_ttl = ttl;
+      sig.expiration = rng.below(1u << 31);
+      sig.inception = rng.below(1u << 31);
+      sig.key_tag = static_cast<std::uint16_t>(rng.below(65536));
+      sig.signer = random_name(rng);
+      sig.signature.resize(32);
+      for (auto& b : sig.signature)
+        b = static_cast<std::uint8_t>(rng.below(256));
+      return ResourceRecord::make(owner, RrType::kRrsig, ttl, sig);
+    }
+    default: {
+      MxRdata mx;
+      mx.preference = static_cast<std::uint16_t>(rng.below(100));
+      mx.exchange = random_name(rng);
+      return ResourceRecord::make(owner, RrType::kMx, ttl, mx);
+    }
+  }
+}
+
+Message random_message(Rng& rng) {
+  Message msg;
+  msg.header.id = static_cast<std::uint16_t>(rng.below(65536));
+  msg.header.qr = rng.chance(0.7);
+  msg.header.aa = rng.chance(0.5);
+  msg.header.rd = rng.chance(0.5);
+  msg.header.ra = rng.chance(0.5);
+  msg.header.ad = rng.chance(0.3);
+  msg.header.cd = rng.chance(0.2);
+  msg.header.rcode = rng.chance(0.3) ? Rcode::kNxDomain : Rcode::kNoError;
+  msg.questions.push_back(
+      Question{random_name(rng), RrType::kA, RrClass::kIn});
+  const std::uint32_t answers = rng.below(4);
+  for (std::uint32_t i = 0; i < answers; ++i)
+    msg.answers.push_back(random_record(rng));
+  const std::uint32_t auths = rng.below(4);
+  for (std::uint32_t i = 0; i < auths; ++i)
+    msg.authorities.push_back(random_record(rng));
+  const std::uint32_t extra = rng.below(3);
+  for (std::uint32_t i = 0; i < extra; ++i)
+    msg.additionals.push_back(random_record(rng));
+  if (rng.chance(0.7)) {
+    Edns edns;
+    edns.do_bit = rng.chance(0.5);
+    if (rng.chance(0.3))
+      edns.add_ede(EdeCode::kUnsupportedNsec3Iterations, "test");
+    msg.edns = edns;
+  }
+  return msg;
+}
+
+void expect_equivalent(const Message& a, const Message& b) {
+  EXPECT_EQ(a.header.id, b.header.id);
+  EXPECT_EQ(a.header.qr, b.header.qr);
+  EXPECT_EQ(a.header.aa, b.header.aa);
+  EXPECT_EQ(a.header.rd, b.header.rd);
+  EXPECT_EQ(a.header.ra, b.header.ra);
+  EXPECT_EQ(a.header.ad, b.header.ad);
+  EXPECT_EQ(a.header.cd, b.header.cd);
+  EXPECT_EQ(a.header.rcode, b.header.rcode);
+  ASSERT_EQ(a.questions.size(), b.questions.size());
+  for (std::size_t i = 0; i < a.questions.size(); ++i)
+    EXPECT_EQ(a.questions[i], b.questions[i]);
+  const auto check_section = [](const std::vector<ResourceRecord>& x,
+                                const std::vector<ResourceRecord>& y) {
+    ASSERT_EQ(x.size(), y.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      EXPECT_TRUE(x[i].name.equals(y[i].name)) << x[i].name.to_string();
+      EXPECT_EQ(x[i].type, y[i].type);
+      EXPECT_EQ(x[i].ttl, y[i].ttl);
+      EXPECT_EQ(x[i].rdata, y[i].rdata) << to_string(x[i].type);
+    }
+  };
+  check_section(a.answers, b.answers);
+  check_section(a.authorities, b.authorities);
+  check_section(a.additionals, b.additionals);
+  EXPECT_EQ(a.edns.has_value(), b.edns.has_value());
+  if (a.edns && b.edns) {
+    EXPECT_EQ(a.edns->do_bit, b.edns->do_bit);
+    EXPECT_EQ(a.edns->options, b.edns->options);
+  }
+}
+
+class CodecProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CodecProperty, RoundTripPreservesSemantics) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    const Message original = random_message(rng);
+    const auto wire = original.to_wire();
+    const auto decoded = Message::from_wire(
+        std::span<const std::uint8_t>(wire.data(), wire.size()));
+    ASSERT_TRUE(decoded) << "seed " << GetParam() << " msg " << i;
+    expect_equivalent(original, *decoded);
+  }
+}
+
+TEST_P(CodecProperty, ReencodeIsStable) {
+  // decode(encode(m)) re-encoded must parse to the same thing again.
+  Rng rng(GetParam() ^ 0xabcdef);
+  const Message original = random_message(rng);
+  const auto wire1 = original.to_wire();
+  const auto once = Message::from_wire(
+      std::span<const std::uint8_t>(wire1.data(), wire1.size()));
+  ASSERT_TRUE(once);
+  const auto wire2 = once->to_wire();
+  const auto twice = Message::from_wire(
+      std::span<const std::uint8_t>(wire2.data(), wire2.size()));
+  ASSERT_TRUE(twice);
+  expect_equivalent(*once, *twice);
+}
+
+TEST_P(CodecProperty, TruncationNeverCrashes) {
+  Rng rng(GetParam() ^ 0x1234);
+  const Message original = random_message(rng);
+  const auto wire = original.to_wire();
+  for (std::size_t len = 0; len <= wire.size(); len += 1 + len / 8) {
+    (void)Message::from_wire(std::span<const std::uint8_t>(wire.data(), len));
+  }
+  SUCCEED();
+}
+
+TEST_P(CodecProperty, ByteFlipsNeverCrash) {
+  Rng rng(GetParam() ^ 0x5678);
+  const Message original = random_message(rng);
+  auto wire = original.to_wire();
+  for (int flips = 0; flips < 200; ++flips) {
+    const std::size_t pos = rng.below(static_cast<std::uint32_t>(wire.size()));
+    const std::uint8_t old = wire[pos];
+    wire[pos] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+    (void)Message::from_wire(
+        std::span<const std::uint8_t>(wire.data(), wire.size()));
+    wire[pos] = old;
+  }
+  SUCCEED();
+}
+
+TEST_P(CodecProperty, RandomGarbageNeverCrashes) {
+  Rng rng(GetParam() ^ 0x9abc);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<std::uint8_t> garbage(rng.below(300));
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.below(256));
+    (void)Message::from_wire(
+        std::span<const std::uint8_t>(garbage.data(), garbage.size()));
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89,
+                                           144, 233));
+
+}  // namespace
+}  // namespace zh::dns

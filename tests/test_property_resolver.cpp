@@ -1,0 +1,201 @@
+// Property sweep over (resolver profile × probe zone): cross-cutting
+// invariants of the RFC 9276 policy engine that must hold for every
+// combination — AD implies within-limit, SERVFAIL implies over-limit,
+// responses are deterministic, and packet loss degrades to SERVFAIL
+// rather than wrong answers (failure injection).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "testbed/internet.hpp"
+
+namespace zh::resolver {
+namespace {
+
+using dns::Message;
+using dns::Name;
+using dns::Rcode;
+using dns::RrType;
+using simnet::IpAddress;
+
+struct ProfileCase {
+  const char* name;
+  ResolverProfile (*factory)();
+};
+
+const ProfileCase kProfiles[] = {
+    {"bind9_2021", &ResolverProfile::bind9_2021},
+    {"bind9_2023", &ResolverProfile::bind9_2023},
+    {"unbound", &ResolverProfile::unbound},
+    {"knot_2021", &ResolverProfile::knot_2021},
+    {"knot_2023", &ResolverProfile::knot_2023},
+    {"powerdns_2021", &ResolverProfile::powerdns_2021},
+    {"powerdns_2023", &ResolverProfile::powerdns_2023},
+    {"google", &ResolverProfile::google_public_dns},
+    {"cloudflare", &ResolverProfile::cloudflare},
+    {"quad9", &ResolverProfile::quad9},
+    {"opendns", &ResolverProfile::opendns},
+    {"technitium", &ResolverProfile::technitium},
+    {"strict_zero", &ResolverProfile::strict_zero},
+    {"permissive", &ResolverProfile::permissive},
+    {"item7_violator", &ResolverProfile::item7_violator},
+    {"item12_gap", &ResolverProfile::item12_gap},
+};
+
+class PolicySweep : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  static void SetUpTestSuite() {
+    internet_ = new testbed::Internet();
+    zones_ = testbed::add_probe_infrastructure(*internet_);
+    internet_->build();
+  }
+  static void TearDownTestSuite() {
+    delete internet_;
+    internet_ = nullptr;
+  }
+
+  static testbed::Internet* internet_;
+  static std::vector<testbed::ProbeZone> zones_;
+};
+
+testbed::Internet* PolicySweep::internet_ = nullptr;
+std::vector<testbed::ProbeZone> PolicySweep::zones_;
+
+TEST_P(PolicySweep, InvariantsHoldForEveryProbeZone) {
+  const ProfileCase& profile_case = kProfiles[GetParam()];
+  const ResolverProfile profile = profile_case.factory();
+  auto r = internet_->make_resolver(
+      profile, IpAddress::v4(203, 0, 113,
+                             static_cast<std::uint8_t>(40 + GetParam())));
+
+  int token = 0;
+  for (const auto& zone : zones_) {
+    if (zone.label == "valid" || zone.label == "expired" ||
+        zone.nsec3_expired)
+      continue;
+    const Name qname = *zone.apex.prepended("nx")->prepended(
+        "p" + std::to_string(token++));
+    const Message response = r->resolve(qname, RrType::kA);
+    const auto& policy = profile.policy;
+    const std::uint16_t n = zone.iterations;
+
+    // 1. RCODE is always NXDOMAIN or SERVFAIL for these probes.
+    EXPECT_TRUE(response.header.rcode == Rcode::kNxDomain ||
+                response.header.rcode == Rcode::kServFail)
+        << profile.name << " @ " << zone.label;
+
+    // 2. Item 8: SERVFAIL exactly above the servfail limit.
+    if (policy.servfail_limit) {
+      EXPECT_EQ(response.header.rcode == Rcode::kServFail,
+                n > *policy.servfail_limit)
+          << profile.name << " @ " << zone.label;
+    } else {
+      EXPECT_EQ(response.header.rcode, Rcode::kNxDomain)
+          << profile.name << " @ " << zone.label;
+    }
+
+    // 3. Item 6 + RFC 5155 ceiling: AD iff validating and within limits.
+    const bool within_limits =
+        !policy.exceeds_insecure(n) &&
+        !(policy.servfail_limit && n > *policy.servfail_limit);
+    if (response.header.rcode == Rcode::kNxDomain) {
+      EXPECT_EQ(response.header.ad, within_limits)
+          << profile.name << " @ " << zone.label;
+    }
+
+    // 4. AD never appears on SERVFAIL.
+    if (response.header.rcode == Rcode::kServFail) {
+      EXPECT_FALSE(response.header.ad);
+    }
+  }
+}
+
+TEST_P(PolicySweep, ResponsesAreDeterministic) {
+  const ProfileCase& profile_case = kProfiles[GetParam()];
+  auto a = internet_->make_resolver(
+      profile_case.factory(),
+      IpAddress::v4(203, 0, 114, static_cast<std::uint8_t>(GetParam() + 1)));
+  auto b = internet_->make_resolver(
+      profile_case.factory(),
+      IpAddress::v4(203, 0, 115, static_cast<std::uint8_t>(GetParam() + 1)));
+
+  for (const char* label : {"it-5", "it-101", "it-250"}) {
+    const Name qname = Name::must_parse(
+        std::string("det.nx.") + label + ".rfc9276-in-the-wild.com");
+    const Message first = a->resolve(qname, RrType::kA);
+    const Message second = b->resolve(qname, RrType::kA);
+    EXPECT_EQ(first.header.rcode, second.header.rcode) << label;
+    EXPECT_EQ(first.header.ad, second.header.ad) << label;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Profiles, PolicySweep,
+    ::testing::Range<std::size_t>(0, std::size(kProfiles)),
+    [](const ::testing::TestParamInfo<std::size_t>& info) {
+      return kProfiles[info.param].name;
+    });
+
+// --- Failure injection: the network loses packets ---
+
+TEST(ResolverFailureInjection, TotalLossYieldsServfailNotWrongAnswers) {
+  testbed::Internet internet;
+  testbed::add_probe_infrastructure(internet);
+  internet.build();
+  auto r = internet.make_resolver(ResolverProfile::bind9_2021(),
+                                  IpAddress::v4(203, 0, 113, 99));
+  internet.network().set_loss(1.0, 7);
+  const Message response = r->resolve(
+      Name::must_parse("x.nx.it-5.rfc9276-in-the-wild.com"), RrType::kA);
+  EXPECT_EQ(response.header.rcode, Rcode::kServFail);
+  internet.network().set_loss(0.0);
+}
+
+TEST(ResolverFailureInjection, ModerateLossNeverProducesBogusAd) {
+  testbed::Internet internet;
+  testbed::add_probe_infrastructure(internet);
+  internet.build();
+  auto r = internet.make_resolver(ResolverProfile::bind9_2021(),
+                                  IpAddress::v4(203, 0, 113, 98));
+  internet.network().set_loss(0.25, 99);
+
+  int servfails = 0, nxdomains = 0;
+  for (int i = 0; i < 60; ++i) {
+    const Message response = r->resolve(
+        Name::must_parse("l" + std::to_string(i) +
+                         ".nx.it-300.rfc9276-in-the-wild.com"),
+        RrType::kA);
+    if (response.header.rcode == Rcode::kServFail) {
+      ++servfails;
+      EXPECT_FALSE(response.header.ad);
+    } else {
+      ASSERT_EQ(response.header.rcode, Rcode::kNxDomain);
+      ++nxdomains;
+      // it-300 exceeds bind9_2021's limit of 150: never AD, loss or not.
+      EXPECT_FALSE(response.header.ad);
+    }
+  }
+  EXPECT_GT(servfails, 0) << "25% loss must cause some failures";
+  EXPECT_GT(nxdomains, 0) << "but many queries still succeed";
+  internet.network().set_loss(0.0);
+}
+
+TEST(ResolverFailureInjection, RecoversAfterLossEnds) {
+  testbed::Internet internet;
+  testbed::add_probe_infrastructure(internet);
+  internet.build();
+  auto r = internet.make_resolver(ResolverProfile::bind9_2021(),
+                                  IpAddress::v4(203, 0, 113, 97));
+  internet.network().set_loss(1.0, 3);
+  (void)r->resolve(Name::must_parse("a.nx.it-5.rfc9276-in-the-wild.com"),
+                   RrType::kA);
+  internet.network().set_loss(0.0);
+  r->flush_cache();  // drop the cached SERVFAIL and poisoned contexts
+  const Message response = r->resolve(
+      Name::must_parse("b.nx.it-5.rfc9276-in-the-wild.com"), RrType::kA);
+  EXPECT_EQ(response.header.rcode, Rcode::kNxDomain);
+  EXPECT_TRUE(response.header.ad);
+}
+
+}  // namespace
+}  // namespace zh::resolver

@@ -1,0 +1,227 @@
+// Unit tests for the simulated network: addressing, routing, loss,
+// server-side query logging (the paper's forwarder-detection mechanism).
+#include <gtest/gtest.h>
+
+#include "simnet/address.hpp"
+#include "simnet/network.hpp"
+
+namespace zh::simnet {
+namespace {
+
+using dns::Message;
+using dns::Name;
+using dns::RrType;
+
+TEST(IpAddress, V4Formatting) {
+  EXPECT_EQ(IpAddress::v4(1, 1, 1, 1).to_string(), "1.1.1.1");
+  EXPECT_EQ(IpAddress::v4(198, 41, 0, 4).to_string(), "198.41.0.4");
+}
+
+TEST(IpAddress, V6Formatting) {
+  const auto addr = IpAddress::v6({0x2001, 0xdb8, 0, 0, 0, 0, 0, 1});
+  EXPECT_EQ(addr.to_string(), "2001:db8:0:0:0:0:0:1");
+  EXPECT_TRUE(addr.is_v6());
+}
+
+TEST(IpAddress, EqualityAndHash) {
+  const auto a = IpAddress::v4(10, 0, 0, 1);
+  const auto b = IpAddress::v4(10, 0, 0, 1);
+  const auto c = IpAddress::v4(10, 0, 0, 2);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_NE(a.hash(), c.hash());
+  // v4 and v6 with the same leading bytes differ.
+  const auto v6 = IpAddress::v6({0x0a00, 0x0001, 0, 0, 0, 0, 0, 0});
+  EXPECT_FALSE(a == v6);
+}
+
+TEST(IpAddress, FromIndexIsUnique) {
+  std::set<std::string> seen;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(seen.insert(IpAddress::from_index(false, i).to_string()).second);
+    EXPECT_TRUE(seen.insert(IpAddress::from_index(true, i).to_string()).second);
+  }
+}
+
+TEST(IpAddress, FromBytesRoundTrip) {
+  const std::uint8_t v4_bytes[4] = {192, 0, 2, 7};
+  EXPECT_EQ(IpAddress::from_bytes(false, v4_bytes).to_string(), "192.0.2.7");
+}
+
+TEST(Network, RoutesToAttachedNode) {
+  Network network;
+  const auto server = IpAddress::v4(192, 0, 2, 1);
+  const auto client = IpAddress::v4(203, 0, 113, 1);
+  network.attach(server, [](const Message& query, const IpAddress&) {
+    Message response = Message::make_response(query);
+    response.header.rcode = dns::Rcode::kNoError;
+    return std::optional<Message>(response);
+  });
+
+  const Message query =
+      Message::make_query(7, Name::must_parse("example.com"), RrType::kA);
+  const auto response = network.send(client, server, query);
+  ASSERT_TRUE(response);
+  EXPECT_EQ(response->header.id, 7);
+  EXPECT_TRUE(response->header.qr);
+  EXPECT_EQ(network.queries_sent(), 1u);
+}
+
+TEST(Network, UnreachableDestination) {
+  Network network;
+  const Message query =
+      Message::make_query(7, Name::must_parse("example.com"), RrType::kA);
+  EXPECT_FALSE(network.send(IpAddress::v4(1, 2, 3, 4),
+                            IpAddress::v4(5, 6, 7, 8), query));
+}
+
+TEST(Network, DetachStopsRouting) {
+  Network network;
+  const auto server = IpAddress::v4(192, 0, 2, 1);
+  network.attach(server, [](const Message& q, const IpAddress&) {
+    return std::optional<Message>(Message::make_response(q));
+  });
+  EXPECT_TRUE(network.is_attached(server));
+  network.detach(server);
+  EXPECT_FALSE(network.is_attached(server));
+  const Message query =
+      Message::make_query(1, Name::must_parse("example.com"), RrType::kA);
+  EXPECT_FALSE(network.send(IpAddress::v4(1, 1, 1, 1), server, query));
+}
+
+TEST(Network, LossDropsDeterministically) {
+  Network network;
+  const auto server = IpAddress::v4(192, 0, 2, 1);
+  network.attach(server, [](const Message& q, const IpAddress&) {
+    return std::optional<Message>(Message::make_response(q));
+  });
+  network.set_loss(0.5, /*seed=*/42);
+  int delivered = 0;
+  const Message query =
+      Message::make_query(1, Name::must_parse("example.com"), RrType::kA);
+  for (int i = 0; i < 1000; ++i) {
+    if (network.send(IpAddress::v4(1, 1, 1, 1), server, query)) ++delivered;
+  }
+  EXPECT_GT(delivered, 400);
+  EXPECT_LT(delivered, 600);
+
+  // Same seed → same delivery pattern.
+  Network network2;
+  network2.attach(server, [](const Message& q, const IpAddress&) {
+    return std::optional<Message>(Message::make_response(q));
+  });
+  network2.set_loss(0.5, 42);
+  int delivered2 = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (network2.send(IpAddress::v4(1, 1, 1, 1), server, query)) ++delivered2;
+  }
+  EXPECT_EQ(delivered, delivered2);
+}
+
+TEST(Network, ServerSideLoggingRecordsSources) {
+  Network network;
+  const auto server = IpAddress::v4(192, 0, 2, 1);
+  const auto forwarder = IpAddress::v4(203, 0, 113, 9);
+  network.attach(server, [](const Message& q, const IpAddress&) {
+    return std::optional<Message>(Message::make_response(q));
+  });
+  network.enable_logging_for(server);
+
+  const Message query =
+      Message::make_query(1, Name::must_parse("probe.example.com"), RrType::kA);
+  network.send(forwarder, server, query);
+  ASSERT_EQ(network.query_log().size(), 1u);
+  EXPECT_EQ(network.query_log()[0].source, forwarder);
+  EXPECT_TRUE(network.query_log()[0].question.name.equals(
+      Name::must_parse("probe.example.com")));
+
+  network.clear_query_log();
+  EXPECT_TRUE(network.query_log().empty());
+}
+
+TEST(Network, LoggingOnlyForEnabledDestinations) {
+  Network network;
+  const auto a = IpAddress::v4(192, 0, 2, 1);
+  const auto b = IpAddress::v4(192, 0, 2, 2);
+  const auto handler = [](const Message& q, const IpAddress&) {
+    return std::optional<Message>(Message::make_response(q));
+  };
+  network.attach(a, handler);
+  network.attach(b, handler);
+  network.enable_logging_for(a);
+  const Message query =
+      Message::make_query(1, Name::must_parse("x.example"), RrType::kA);
+  network.send(IpAddress::v4(9, 9, 9, 9), a, query);
+  network.send(IpAddress::v4(9, 9, 9, 9), b, query);
+  EXPECT_EQ(network.query_log().size(), 1u);
+}
+
+
+TEST(NetworkTransport, OversizeUdpResponseTruncated) {
+  Network network;
+  const auto server = IpAddress::v4(192, 0, 2, 1);
+  network.attach(server, [](const Message& q, const IpAddress&) {
+    Message response = Message::make_response(q);
+    // Stuff the answer well past any UDP budget.
+    for (int i = 0; i < 60; ++i) {
+      response.answers.push_back(dns::make_txt(
+          q.questions.front().name, 60, std::string(100, 'x')));
+    }
+    return std::optional<Message>(response);
+  });
+
+  Message query = Message::make_query(
+      5, Name::must_parse("big.example"), RrType::kTxt);
+  query.edns->udp_payload_size = 1232;
+  const auto udp = network.send(IpAddress::v4(9, 9, 9, 9), server, query);
+  ASSERT_TRUE(udp);
+  EXPECT_TRUE(udp->header.tc);
+  EXPECT_TRUE(udp->answers.empty());
+  EXPECT_EQ(network.truncations(), 1u);
+
+  const auto tcp = network.send_tcp(IpAddress::v4(9, 9, 9, 9), server, query);
+  ASSERT_TRUE(tcp);
+  EXPECT_FALSE(tcp->header.tc);
+  EXPECT_EQ(tcp->answers.size(), 60u);
+  EXPECT_EQ(network.tcp_queries(), 1u);
+}
+
+TEST(NetworkTransport, SmallResponsesStayOnUdp) {
+  Network network;
+  const auto server = IpAddress::v4(192, 0, 2, 1);
+  network.attach(server, [](const Message& q, const IpAddress&) {
+    Message response = Message::make_response(q);
+    response.answers.push_back(
+        dns::make_a(q.questions.front().name, 60, 1, 2, 3, 4));
+    return std::optional<Message>(response);
+  });
+  const Message query = Message::make_query(
+      5, Name::must_parse("small.example"), RrType::kA);
+  const auto response = network.send(IpAddress::v4(9, 9, 9, 9), server, query);
+  ASSERT_TRUE(response);
+  EXPECT_FALSE(response->header.tc);
+  EXPECT_EQ(network.truncations(), 0u);
+}
+
+TEST(NetworkTransport, NonEdnsClientsGet512ByteBudget) {
+  Network network;
+  const auto server = IpAddress::v4(192, 0, 2, 1);
+  network.attach(server, [](const Message& q, const IpAddress&) {
+    Message response = Message::make_response(q);
+    for (int i = 0; i < 8; ++i) {
+      response.answers.push_back(dns::make_txt(
+          q.questions.front().name, 60, std::string(90, 'y')));
+    }
+    return std::optional<Message>(response);
+  });
+  Message query = Message::make_query(
+      5, Name::must_parse("legacy.example"), RrType::kTxt);
+  query.edns.reset();  // pre-EDNS client: 512-byte limit applies
+  const auto response = network.send(IpAddress::v4(9, 9, 9, 9), server, query);
+  ASSERT_TRUE(response);
+  EXPECT_TRUE(response->header.tc);
+}
+
+}  // namespace
+}  // namespace zh::simnet

@@ -1,0 +1,212 @@
+// Tests for the synthetic ecosystem spec: determinism, calibration of the
+// population statistics against the paper's §5.1 numbers, the TLD census,
+// the popularity list, and the Figure 3 resolver panel mixes.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/stats.hpp"
+#include "workload/popularity.hpp"
+#include "workload/resolver_population.hpp"
+#include "workload/spec.hpp"
+
+namespace zh::workload {
+namespace {
+
+class SpecTest : public ::testing::Test {
+ protected:
+  static const EcosystemSpec& spec() {
+    static EcosystemSpec instance({.scale = 0.001, .seed = 42});
+    return instance;
+  }
+};
+
+TEST_F(SpecTest, Deterministic) {
+  EcosystemSpec other({.scale = 0.001, .seed = 42});
+  for (const std::size_t index : {0u, 17u, 300u, 5000u, 99999u}) {
+    const DomainProfile a = spec().domain(index);
+    const DomainProfile b = other.domain(index);
+    EXPECT_TRUE(a.apex.equals(b.apex));
+    EXPECT_EQ(a.dnssec, b.dnssec);
+    EXPECT_EQ(a.nsec3.iterations, b.nsec3.iterations);
+    EXPECT_EQ(a.nsec3.salt, b.nsec3.salt);
+  }
+}
+
+TEST_F(SpecTest, IndexRoundTrip) {
+  for (const std::size_t index : {0u, 42u, 1234u, 100000u}) {
+    const DomainProfile profile = spec().domain(index);
+    const auto back = spec().index_of(profile.apex);
+    ASSERT_TRUE(back) << profile.apex.to_string();
+    EXPECT_EQ(*back, index);
+  }
+  EXPECT_FALSE(spec().index_of(dns::Name::must_parse("www.example.com")));
+  EXPECT_FALSE(spec().index_of(dns::Name::must_parse("x999.com")));
+}
+
+TEST_F(SpecTest, PopulationRatesMatchPaper) {
+  std::uint64_t dnssec = 0, nsec3 = 0, zero_iter = 0, no_salt = 0, both = 0,
+                opt_out = 0, le25 = 0;
+  const std::size_t n = spec().domain_count();
+  for (std::size_t i = 0; i < n; ++i) {
+    const DomainProfile profile = spec().domain(i);
+    if (!profile.dnssec) continue;
+    ++dnssec;
+    if (profile.denial != zone::DenialMode::kNsec3) continue;
+    ++nsec3;
+    if (profile.nsec3.iterations == 0) ++zero_iter;
+    if (profile.nsec3.salt.empty()) ++no_salt;
+    if (profile.nsec3.iterations == 0 && profile.nsec3.salt.empty()) ++both;
+    if (profile.nsec3.opt_out) ++opt_out;
+    if (profile.nsec3.iterations <= 25) ++le25;
+  }
+  const double total = static_cast<double>(n);
+  // Paper: 8.8 % DNSSEC-enabled, 58.3 % of those NSEC3-enabled.
+  EXPECT_NEAR(dnssec / total, 0.088, 0.004);
+  EXPECT_NEAR(static_cast<double>(nsec3) / dnssec, 0.583, 0.01);
+  // Items 2/3: 12.2 % zero iterations, 8.6 % saltless, 6.4 % opt-out.
+  EXPECT_NEAR(static_cast<double>(zero_iter) / nsec3, 0.122, 0.01);
+  EXPECT_NEAR(static_cast<double>(no_salt) / nsec3, 0.086, 0.01);
+  EXPECT_NEAR(static_cast<double>(opt_out) / nsec3, 0.064, 0.01);
+  // 99.9 % at most 25 additional iterations at full scale. The planted
+  // long-tail specials keep their absolute counts under scaling (DESIGN.md
+  // §1), so at 1:1000 they weigh ~3× more — hence the relaxed bound here.
+  EXPECT_GT(static_cast<double>(le25) / nsec3, 0.995);
+  // Both-compliant exists but is small (global analogue of Fig. 2's 12.7 %
+  // popular-domain number is lower).
+  EXPECT_GT(both, 0u);
+}
+
+TEST_F(SpecTest, LongTailSpecialsPlanted) {
+  std::uint64_t over150 = 0, at500 = 0, salt_over45 = 0, salt160 = 0;
+  // Specials occupy the first indexes by construction.
+  for (std::size_t i = 0; i < 300; ++i) {
+    const DomainProfile profile = spec().domain(i);
+    if (profile.denial != zone::DenialMode::kNsec3) continue;
+    if (profile.nsec3.iterations > 150) ++over150;
+    if (profile.nsec3.iterations == 500) ++at500;
+    if (profile.nsec3.salt.size() > 45) ++salt_over45;
+    if (profile.nsec3.salt.size() == 160) ++salt160;
+  }
+  EXPECT_EQ(over150, 43u);   // §5.1: 43 domains above 150 iterations
+  EXPECT_EQ(at500, 12u);     // 12 at 500 — the maximum observed
+  EXPECT_EQ(salt_over45, 170u);  // 170 salts above 45 bytes
+  EXPECT_EQ(salt160, 9u);    // 9 at 160 bytes
+}
+
+TEST_F(SpecTest, GiantSaltTailServedBySingleOperator) {
+  std::size_t op = SIZE_MAX;
+  for (std::size_t i = 0; i < 300; ++i) {
+    const DomainProfile profile = spec().domain(i);
+    if (profile.nsec3.salt.size() <= 45) continue;
+    if (op == SIZE_MAX) op = profile.operator_index;
+    EXPECT_EQ(profile.operator_index, op);
+  }
+  ASSERT_NE(op, SIZE_MAX);
+  EXPECT_EQ(spec().operators()[op].name, "giant-salt-op");
+}
+
+TEST_F(SpecTest, OperatorSharesFollowTable2) {
+  analysis::FreqTable by_operator;
+  for (std::size_t i = 0; i < spec().domain_count(); ++i) {
+    const DomainProfile profile = spec().domain(i);
+    if (profile.denial != zone::DenialMode::kNsec3) continue;
+    by_operator.add(spec().operators()[profile.operator_index].name);
+  }
+  // Table 2 headline rows (tolerances absorb sampling noise at 1:1000).
+  EXPECT_NEAR(by_operator.share("squarespace"), 0.394, 0.02);
+  EXPECT_NEAR(by_operator.share("one-com"), 0.095, 0.01);
+  EXPECT_NEAR(by_operator.share("ovhcloud"), 0.084, 0.01);
+  EXPECT_NEAR(by_operator.share("wix"), 0.050, 0.01);
+  EXPECT_NEAR(by_operator.share("hostpoint"), 0.013, 0.005);
+}
+
+TEST_F(SpecTest, TldCensusMatchesPaper) {
+  std::uint64_t dnssec = 0, nsec3 = 0, zero = 0, at100 = 0, no_salt = 0,
+                salt8 = 0, salt10 = 0, opt_out = 0, identity = 0;
+  for (const TldProfile& tld : spec().tlds()) {
+    if (tld.dnssec) ++dnssec;
+    if (!tld.nsec3) continue;
+    ++nsec3;
+    if (tld.iterations == 0) ++zero;
+    if (tld.iterations == 100) ++at100;
+    if (tld.salt_len == 0) ++no_salt;
+    if (tld.salt_len == 8) ++salt8;
+    if (tld.salt_len == 10) ++salt10;
+    if (tld.opt_out) ++opt_out;
+    if (tld.identity_digital) ++identity;
+  }
+  EXPECT_EQ(spec().tlds().size(), 1449u);
+  EXPECT_EQ(dnssec, 1354u);
+  EXPECT_EQ(nsec3, 1302u);
+  EXPECT_EQ(zero, 688u);
+  EXPECT_EQ(at100, 447u);
+  EXPECT_EQ(identity, 447u);
+  EXPECT_EQ(salt8, 558u);
+  EXPECT_EQ(salt10, 7u);
+  EXPECT_NEAR(static_cast<double>(no_salt) / nsec3, 672.0 / 1302.0, 0.03);
+  EXPECT_NEAR(static_cast<double>(opt_out) / nsec3, 0.854, 0.02);
+}
+
+TEST_F(SpecTest, PopularityListMatchesTrancoIntersections) {
+  PopularityList list(spec(), {.size = 10000, .seed = 99});
+  ASSERT_GE(list.size(), 9000u);
+
+  std::uint64_t dnssec = 0, nsec3 = 0, zero = 0, nosalt = 0, both = 0;
+  for (const RankedDomain& entry : list.entries()) {
+    const DomainProfile profile = spec().domain(entry.domain_index);
+    if (!profile.dnssec) continue;
+    ++dnssec;
+    if (profile.denial != zone::DenialMode::kNsec3) continue;
+    ++nsec3;
+    if (profile.nsec3.iterations == 0) ++zero;
+    if (profile.nsec3.salt.empty()) ++nosalt;
+    if (profile.nsec3.iterations == 0 && profile.nsec3.salt.empty()) ++both;
+  }
+  const double total = static_cast<double>(list.size());
+  EXPECT_NEAR(dnssec / total, 0.0666, 0.01);          // 66.6 K / 1 M
+  EXPECT_NEAR(static_cast<double>(nsec3) / dnssec, 0.408, 0.05);
+  EXPECT_NEAR(static_cast<double>(zero) / nsec3, 0.228, 0.06);
+  EXPECT_NEAR(static_cast<double>(nosalt) / nsec3, 0.236, 0.06);
+  EXPECT_NEAR(static_cast<double>(both) / nsec3, 0.127, 0.05);
+}
+
+TEST_F(SpecTest, PopularityListUniqueIndexes) {
+  PopularityList list(spec(), {.size = 5000, .seed = 7});
+  std::set<std::size_t> seen;
+  for (const RankedDomain& entry : list.entries()) {
+    EXPECT_TRUE(seen.insert(entry.domain_index).second)
+        << "rank list must not repeat domains";
+  }
+}
+
+TEST(PanelSpecTest, WeightsRoughlyCoverBehaviourGroups) {
+  const PanelSpec panel = figure3_panel(Panel::kOpenV4, 0.01);
+  double item6 = 0, item8 = 0, total = 0;
+  for (const auto& entry : panel.entries) {
+    total += entry.weight;
+    const auto& policy = entry.profile.policy;
+    const bool forwards_to_servfail =
+        entry.forward_via == "cloudflare-1.1.1.1" ||
+        entry.forward_via == "cisco-opendns";
+    const bool forwards_to_insecure = entry.forward_via == "google-public-dns";
+    if (policy.servfail_limit || forwards_to_servfail) {
+      item8 += entry.weight;
+    } else if (policy.insecure_limit || forwards_to_insecure) {
+      item6 += entry.weight;
+    }
+  }
+  // §5.2: 59.9 % Item 6, 18.4 % Item 8, 78.3 % limiting overall.
+  EXPECT_NEAR(item6 / total, 0.599, 0.03);
+  EXPECT_NEAR(item8 / total, 0.184, 0.03);
+}
+
+TEST(PanelSpecTest, PanelSizesScale) {
+  EXPECT_EQ(figure3_panel(Panel::kOpenV4, 0.01).validator_count, 1052u);
+  EXPECT_EQ(figure3_panel(Panel::kOpenV6, 0.01).validator_count, 68u);
+  EXPECT_EQ(figure3_panel(Panel::kClosedV4, 0.01).validator_count, 1236u);
+  EXPECT_EQ(figure3_panel(Panel::kClosedV6, 0.01).validator_count, 689u);
+}
+
+}  // namespace
+}  // namespace zh::workload
