@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_item7.cpp" "bench/CMakeFiles/bench_ablation_item7.dir/bench_ablation_item7.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_item7.dir/bench_ablation_item7.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scanner/CMakeFiles/zh_scanner.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/zh_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/testbed/CMakeFiles/zh_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/resolver/CMakeFiles/zh_resolver.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/zh_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/zone/CMakeFiles/zh_zone.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/zh_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/zh_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/zh_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_optout.dir/bench_ablation_optout.cpp.o"
+  "CMakeFiles/bench_ablation_optout.dir/bench_ablation_optout.cpp.o.d"
+  "bench_ablation_optout"
+  "bench_ablation_optout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_optout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_salt.dir/bench_ablation_salt.cpp.o"
+  "CMakeFiles/bench_ablation_salt.dir/bench_ablation_salt.cpp.o.d"
+  "bench_ablation_salt"
+  "bench_ablation_salt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_salt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

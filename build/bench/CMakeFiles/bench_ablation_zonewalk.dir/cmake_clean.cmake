@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_zonewalk.dir/bench_ablation_zonewalk.cpp.o"
+  "CMakeFiles/bench_ablation_zonewalk.dir/bench_ablation_zonewalk.cpp.o.d"
+  "bench_ablation_zonewalk"
+  "bench_ablation_zonewalk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_zonewalk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cve_cost.dir/bench_cve_cost.cpp.o"
+  "CMakeFiles/bench_cve_cost.dir/bench_cve_cost.cpp.o.d"
+  "bench_cve_cost"
+  "bench_cve_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cve_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

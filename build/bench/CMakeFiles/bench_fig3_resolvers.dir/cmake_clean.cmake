@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_resolvers.dir/bench_fig3_resolvers.cpp.o"
+  "CMakeFiles/bench_fig3_resolvers.dir/bench_fig3_resolvers.cpp.o.d"
+  "bench_fig3_resolvers"
+  "bench_fig3_resolvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_resolvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

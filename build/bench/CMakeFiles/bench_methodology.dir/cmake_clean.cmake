@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_methodology.dir/bench_methodology.cpp.o"
+  "CMakeFiles/bench_methodology.dir/bench_methodology.cpp.o.d"
+  "bench_methodology"
+  "bench_methodology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_methodology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

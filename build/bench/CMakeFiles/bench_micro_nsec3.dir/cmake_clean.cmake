@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_nsec3.dir/bench_micro_nsec3.cpp.o"
+  "CMakeFiles/bench_micro_nsec3.dir/bench_micro_nsec3.cpp.o.d"
+  "bench_micro_nsec3"
+  "bench_micro_nsec3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_nsec3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_s51_domains.dir/bench_s51_domains.cpp.o"
+  "CMakeFiles/bench_s51_domains.dir/bench_s51_domains.cpp.o.d"
+  "bench_s51_domains"
+  "bench_s51_domains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s51_domains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

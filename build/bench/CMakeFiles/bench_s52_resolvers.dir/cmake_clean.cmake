@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_s52_resolvers.dir/bench_s52_resolvers.cpp.o"
+  "CMakeFiles/bench_s52_resolvers.dir/bench_s52_resolvers.cpp.o.d"
+  "bench_s52_resolvers"
+  "bench_s52_resolvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s52_resolvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_guidance.dir/bench_table1_guidance.cpp.o"
+  "CMakeFiles/bench_table1_guidance.dir/bench_table1_guidance.cpp.o.d"
+  "bench_table1_guidance"
+  "bench_table1_guidance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_guidance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

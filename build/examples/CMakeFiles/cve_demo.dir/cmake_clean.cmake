@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cve_demo.dir/cve_demo.cpp.o"
+  "CMakeFiles/cve_demo.dir/cve_demo.cpp.o.d"
+  "cve_demo"
+  "cve_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cve_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dig.dir/dig.cpp.o"
+  "CMakeFiles/dig.dir/dig.cpp.o.d"
+  "dig"
+  "dig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resolver_survey.dir/resolver_survey.cpp.o"
+  "CMakeFiles/resolver_survey.dir/resolver_survey.cpp.o.d"
+  "resolver_survey"
+  "resolver_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resolver_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

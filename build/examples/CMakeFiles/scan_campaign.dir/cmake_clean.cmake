@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scan_campaign.dir/scan_campaign.cpp.o"
+  "CMakeFiles/scan_campaign.dir/scan_campaign.cpp.o.d"
+  "scan_campaign"
+  "scan_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scan_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

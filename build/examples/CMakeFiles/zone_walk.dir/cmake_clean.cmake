@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zone_walk.dir/zone_walk.cpp.o"
+  "CMakeFiles/zone_walk.dir/zone_walk.cpp.o.d"
+  "zone_walk"
+  "zone_walk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zone_walk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

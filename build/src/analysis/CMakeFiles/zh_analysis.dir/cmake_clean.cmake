@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zh_analysis.dir/export.cpp.o"
+  "CMakeFiles/zh_analysis.dir/export.cpp.o.d"
+  "CMakeFiles/zh_analysis.dir/stats.cpp.o"
+  "CMakeFiles/zh_analysis.dir/stats.cpp.o.d"
+  "libzh_analysis.a"
+  "libzh_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zh_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

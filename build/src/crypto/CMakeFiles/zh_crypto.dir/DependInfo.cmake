@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/nsec3_hash.cpp" "src/crypto/CMakeFiles/zh_crypto.dir/nsec3_hash.cpp.o" "gcc" "src/crypto/CMakeFiles/zh_crypto.dir/nsec3_hash.cpp.o.d"
+  "/root/repo/src/crypto/sha1.cpp" "src/crypto/CMakeFiles/zh_crypto.dir/sha1.cpp.o" "gcc" "src/crypto/CMakeFiles/zh_crypto.dir/sha1.cpp.o.d"
+  "/root/repo/src/crypto/sha2.cpp" "src/crypto/CMakeFiles/zh_crypto.dir/sha2.cpp.o" "gcc" "src/crypto/CMakeFiles/zh_crypto.dir/sha2.cpp.o.d"
+  "/root/repo/src/crypto/signing.cpp" "src/crypto/CMakeFiles/zh_crypto.dir/signing.cpp.o" "gcc" "src/crypto/CMakeFiles/zh_crypto.dir/signing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zh_crypto.dir/nsec3_hash.cpp.o"
+  "CMakeFiles/zh_crypto.dir/nsec3_hash.cpp.o.d"
+  "CMakeFiles/zh_crypto.dir/sha1.cpp.o"
+  "CMakeFiles/zh_crypto.dir/sha1.cpp.o.d"
+  "CMakeFiles/zh_crypto.dir/sha2.cpp.o"
+  "CMakeFiles/zh_crypto.dir/sha2.cpp.o.d"
+  "CMakeFiles/zh_crypto.dir/signing.cpp.o"
+  "CMakeFiles/zh_crypto.dir/signing.cpp.o.d"
+  "libzh_crypto.a"
+  "libzh_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zh_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

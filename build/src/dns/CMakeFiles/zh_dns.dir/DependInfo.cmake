@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dns/dnssec.cpp" "src/dns/CMakeFiles/zh_dns.dir/dnssec.cpp.o" "gcc" "src/dns/CMakeFiles/zh_dns.dir/dnssec.cpp.o.d"
+  "/root/repo/src/dns/encoding.cpp" "src/dns/CMakeFiles/zh_dns.dir/encoding.cpp.o" "gcc" "src/dns/CMakeFiles/zh_dns.dir/encoding.cpp.o.d"
+  "/root/repo/src/dns/message.cpp" "src/dns/CMakeFiles/zh_dns.dir/message.cpp.o" "gcc" "src/dns/CMakeFiles/zh_dns.dir/message.cpp.o.d"
+  "/root/repo/src/dns/name.cpp" "src/dns/CMakeFiles/zh_dns.dir/name.cpp.o" "gcc" "src/dns/CMakeFiles/zh_dns.dir/name.cpp.o.d"
+  "/root/repo/src/dns/rdata.cpp" "src/dns/CMakeFiles/zh_dns.dir/rdata.cpp.o" "gcc" "src/dns/CMakeFiles/zh_dns.dir/rdata.cpp.o.d"
+  "/root/repo/src/dns/rr.cpp" "src/dns/CMakeFiles/zh_dns.dir/rr.cpp.o" "gcc" "src/dns/CMakeFiles/zh_dns.dir/rr.cpp.o.d"
+  "/root/repo/src/dns/type_bitmap.cpp" "src/dns/CMakeFiles/zh_dns.dir/type_bitmap.cpp.o" "gcc" "src/dns/CMakeFiles/zh_dns.dir/type_bitmap.cpp.o.d"
+  "/root/repo/src/dns/types.cpp" "src/dns/CMakeFiles/zh_dns.dir/types.cpp.o" "gcc" "src/dns/CMakeFiles/zh_dns.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/zh_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zh_dns.dir/dnssec.cpp.o"
+  "CMakeFiles/zh_dns.dir/dnssec.cpp.o.d"
+  "CMakeFiles/zh_dns.dir/encoding.cpp.o"
+  "CMakeFiles/zh_dns.dir/encoding.cpp.o.d"
+  "CMakeFiles/zh_dns.dir/message.cpp.o"
+  "CMakeFiles/zh_dns.dir/message.cpp.o.d"
+  "CMakeFiles/zh_dns.dir/name.cpp.o"
+  "CMakeFiles/zh_dns.dir/name.cpp.o.d"
+  "CMakeFiles/zh_dns.dir/rdata.cpp.o"
+  "CMakeFiles/zh_dns.dir/rdata.cpp.o.d"
+  "CMakeFiles/zh_dns.dir/rr.cpp.o"
+  "CMakeFiles/zh_dns.dir/rr.cpp.o.d"
+  "CMakeFiles/zh_dns.dir/type_bitmap.cpp.o"
+  "CMakeFiles/zh_dns.dir/type_bitmap.cpp.o.d"
+  "CMakeFiles/zh_dns.dir/types.cpp.o"
+  "CMakeFiles/zh_dns.dir/types.cpp.o.d"
+  "libzh_dns.a"
+  "libzh_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zh_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

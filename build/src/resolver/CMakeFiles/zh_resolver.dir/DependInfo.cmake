@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/resolver/policy.cpp" "src/resolver/CMakeFiles/zh_resolver.dir/policy.cpp.o" "gcc" "src/resolver/CMakeFiles/zh_resolver.dir/policy.cpp.o.d"
+  "/root/repo/src/resolver/resolver.cpp" "src/resolver/CMakeFiles/zh_resolver.dir/resolver.cpp.o" "gcc" "src/resolver/CMakeFiles/zh_resolver.dir/resolver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dns/CMakeFiles/zh_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/zh_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/zone/CMakeFiles/zh_zone.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zh_resolver.dir/policy.cpp.o"
+  "CMakeFiles/zh_resolver.dir/policy.cpp.o.d"
+  "CMakeFiles/zh_resolver.dir/resolver.cpp.o"
+  "CMakeFiles/zh_resolver.dir/resolver.cpp.o.d"
+  "libzh_resolver.a"
+  "libzh_resolver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zh_resolver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

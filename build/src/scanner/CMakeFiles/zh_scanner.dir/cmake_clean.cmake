@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zh_scanner.dir/campaign.cpp.o"
+  "CMakeFiles/zh_scanner.dir/campaign.cpp.o.d"
+  "CMakeFiles/zh_scanner.dir/domain_scanner.cpp.o"
+  "CMakeFiles/zh_scanner.dir/domain_scanner.cpp.o.d"
+  "CMakeFiles/zh_scanner.dir/downgrade.cpp.o"
+  "CMakeFiles/zh_scanner.dir/downgrade.cpp.o.d"
+  "CMakeFiles/zh_scanner.dir/resolver_prober.cpp.o"
+  "CMakeFiles/zh_scanner.dir/resolver_prober.cpp.o.d"
+  "CMakeFiles/zh_scanner.dir/zone_walker.cpp.o"
+  "CMakeFiles/zh_scanner.dir/zone_walker.cpp.o.d"
+  "libzh_scanner.a"
+  "libzh_scanner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zh_scanner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/auth_server.cpp" "src/server/CMakeFiles/zh_server.dir/auth_server.cpp.o" "gcc" "src/server/CMakeFiles/zh_server.dir/auth_server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/zone/CMakeFiles/zh_zone.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/zh_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/zh_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zh_server.dir/auth_server.cpp.o"
+  "CMakeFiles/zh_server.dir/auth_server.cpp.o.d"
+  "libzh_server.a"
+  "libzh_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zh_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zh_testbed.dir/internet.cpp.o"
+  "CMakeFiles/zh_testbed.dir/internet.cpp.o.d"
+  "libzh_testbed.a"
+  "libzh_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zh_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zh_workload.dir/install.cpp.o"
+  "CMakeFiles/zh_workload.dir/install.cpp.o.d"
+  "CMakeFiles/zh_workload.dir/popularity.cpp.o"
+  "CMakeFiles/zh_workload.dir/popularity.cpp.o.d"
+  "CMakeFiles/zh_workload.dir/resolver_population.cpp.o"
+  "CMakeFiles/zh_workload.dir/resolver_population.cpp.o.d"
+  "CMakeFiles/zh_workload.dir/spec.cpp.o"
+  "CMakeFiles/zh_workload.dir/spec.cpp.o.d"
+  "libzh_workload.a"
+  "libzh_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zh_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/zone/signer.cpp" "src/zone/CMakeFiles/zh_zone.dir/signer.cpp.o" "gcc" "src/zone/CMakeFiles/zh_zone.dir/signer.cpp.o.d"
+  "/root/repo/src/zone/zone.cpp" "src/zone/CMakeFiles/zh_zone.dir/zone.cpp.o" "gcc" "src/zone/CMakeFiles/zh_zone.dir/zone.cpp.o.d"
+  "/root/repo/src/zone/zonefile.cpp" "src/zone/CMakeFiles/zh_zone.dir/zonefile.cpp.o" "gcc" "src/zone/CMakeFiles/zh_zone.dir/zonefile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dns/CMakeFiles/zh_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/zh_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zh_zone.dir/signer.cpp.o"
+  "CMakeFiles/zh_zone.dir/signer.cpp.o.d"
+  "CMakeFiles/zh_zone.dir/zone.cpp.o"
+  "CMakeFiles/zh_zone.dir/zone.cpp.o.d"
+  "CMakeFiles/zh_zone.dir/zonefile.cpp.o"
+  "CMakeFiles/zh_zone.dir/zonefile.cpp.o.d"
+  "libzh_zone.a"
+  "libzh_zone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zh_zone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dns_dnssec.dir/test_dns_dnssec.cpp.o"
+  "CMakeFiles/test_dns_dnssec.dir/test_dns_dnssec.cpp.o.d"
+  "test_dns_dnssec"
+  "test_dns_dnssec.pdb"
+  "test_dns_dnssec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dns_dnssec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dns_encoding.dir/test_dns_encoding.cpp.o"
+  "CMakeFiles/test_dns_encoding.dir/test_dns_encoding.cpp.o.d"
+  "test_dns_encoding"
+  "test_dns_encoding.pdb"
+  "test_dns_encoding[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dns_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_codec.dir/test_property_codec.cpp.o"
+  "CMakeFiles/test_property_codec.dir/test_property_codec.cpp.o.d"
+  "test_property_codec"
+  "test_property_codec.pdb"
+  "test_property_codec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_nsec3.dir/test_property_nsec3.cpp.o"
+  "CMakeFiles/test_property_nsec3.dir/test_property_nsec3.cpp.o.d"
+  "test_property_nsec3"
+  "test_property_nsec3.pdb"
+  "test_property_nsec3[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_nsec3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_resolver.dir/test_property_resolver.cpp.o"
+  "CMakeFiles/test_property_resolver.dir/test_property_resolver.cpp.o.d"
+  "test_property_resolver"
+  "test_property_resolver.pdb"
+  "test_property_resolver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_resolver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

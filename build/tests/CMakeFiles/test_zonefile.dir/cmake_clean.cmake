@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zonefile.dir/test_zonefile.cpp.o"
+  "CMakeFiles/test_zonefile.dir/test_zonefile.cpp.o.d"
+  "test_zonefile"
+  "test_zonefile.pdb"
+  "test_zonefile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zonefile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_crypto[1]_include.cmake")
+include("/root/repo/build/tests/test_dns_name[1]_include.cmake")
+include("/root/repo/build/tests/test_dns_encoding[1]_include.cmake")
+include("/root/repo/build/tests/test_dns_rdata[1]_include.cmake")
+include("/root/repo/build/tests/test_dns_message[1]_include.cmake")
+include("/root/repo/build/tests/test_dns_dnssec[1]_include.cmake")
+include("/root/repo/build/tests/test_zone[1]_include.cmake")
+include("/root/repo/build/tests/test_server[1]_include.cmake")
+include("/root/repo/build/tests/test_resolver[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_scanner[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_simnet[1]_include.cmake")
+include("/root/repo/build/tests/test_attacks[1]_include.cmake")
+include("/root/repo/build/tests/test_property_codec[1]_include.cmake")
+include("/root/repo/build/tests/test_property_nsec3[1]_include.cmake")
+include("/root/repo/build/tests/test_property_resolver[1]_include.cmake")
+include("/root/repo/build/tests/test_zonefile[1]_include.cmake")
+include("/root/repo/build/tests/test_misbehavior[1]_include.cmake")
+include("/root/repo/build/tests/test_testbed[1]_include.cmake")
