@@ -5,15 +5,18 @@
 //   ZH_SCALE           population scale (default 0.001 = 1:1000 of 302 M)
 //   ZH_RESOLVER_SCALE  resolver-population scale (default 0.01 = 1:100)
 //   ZH_SEED            generator seed (default 42)
+//   ZH_JOBS            worker threads (default 1; also --jobs N / --jobs=N)
 #pragma once
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 
 #include "scanner/campaign.hpp"
+#include "scanner/parallel.hpp"
 #include "testbed/internet.hpp"
 #include "workload/install.hpp"
 #include "workload/resolver_population.hpp"
@@ -28,6 +31,24 @@ inline double env_double(const char* name, double fallback) {
 inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
   const char* value = std::getenv(name);
   return value ? static_cast<std::uint64_t>(std::atoll(value)) : fallback;
+}
+
+/// Worker-thread count: `--jobs N`, `--jobs=N` or `-jN` on the command
+/// line, else ZH_JOBS, else 1. `--jobs 0` means "all hardware threads".
+inline unsigned parse_jobs(int argc, char** argv) {
+  long jobs = static_cast<long>(env_u64("ZH_JOBS", 1));
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atol(argv[++i]);
+    } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      jobs = std::atol(arg + 7);
+    } else if (std::strncmp(arg, "-j", 2) == 0 && arg[2] != '\0') {
+      jobs = std::atol(arg + 2);
+    }
+  }
+  if (jobs < 0) jobs = 1;
+  return jobs == 0 ? scanner::default_jobs() : static_cast<unsigned>(jobs);
 }
 
 /// A fully built world: internet + population spec + probe zones + the

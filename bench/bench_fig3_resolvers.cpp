@@ -35,11 +35,16 @@ void print_panel(const char* title,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace zh;
-  // Figure 3 needs the probe infrastructure only — domains are irrelevant.
-  auto world = bench::build_world(/*with_domains=*/false);
+  const unsigned jobs = bench::parse_jobs(argc, argv);
   const double rscale = bench::env_double("ZH_RESOLVER_SCALE", 0.01);
+  // Figure 3 needs the probe infrastructure only — domains are irrelevant;
+  // every worker builds its own domain-less world.
+  const workload::EcosystemSpec spec(
+      {.scale = 0.00002, .seed = bench::env_u64("ZH_SEED", 42)});
+  const auto factory =
+      scanner::default_world_factory(spec, /*with_domains=*/false);
 
   const workload::Panel panels[] = {
       workload::Panel::kOpenV4, workload::Panel::kOpenV6,
@@ -47,21 +52,14 @@ int main() {
   std::uint32_t address_base = 1u << 20;
 
   for (const auto panel : panels) {
-    const auto spec = workload::figure3_panel(panel, rscale);
+    const auto panel_spec = workload::figure3_panel(panel, rscale);
     const auto start = std::chrono::steady_clock::now();
-    auto population =
-        workload::instantiate_panel(*world.internet, spec, address_base);
+    const scanner::ParallelSweepResult sweep =
+        scanner::run_resolver_sweep_parallel(
+            panel_spec, factory, "f3-" + workload::to_string(panel) + "-",
+            address_base, {.jobs = jobs, .base_seed = spec.options().seed});
     address_base += 1u << 20;
-
-    scanner::ResolverProber prober(world.internet->network(),
-                                   simnet::IpAddress::v4(203, 0, 113, 249),
-                                   world.probe_zones);
-    scanner::ResolverSweepStats stats;
-    std::size_t token = 0;
-    for (const auto& member : population.members) {
-      stats.add(prober.probe(member.address,
-                             "f3-" + std::to_string(token++)));
-    }
+    const scanner::ResolverSweepStats& stats = sweep.stats;
     const double secs = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - start)
                             .count();
@@ -70,10 +68,11 @@ int main() {
                  ", resolver scale " + std::to_string(rscale) + ")")
                     .c_str(),
                 stats);
-    std::printf("# %zu resolvers probed with %llu queries in %.1fs\n",
-                population.members.size(),
-                static_cast<unsigned long long>(prober.queries_issued()),
-                secs);
+    std::printf("# %zu resolvers probed with %llu queries in %.1fs "
+                "(--jobs %u)\n",
+                sweep.population,
+                static_cast<unsigned long long>(sweep.queries_issued), secs,
+                sweep.jobs);
 
     if (const char* dir = std::getenv("ZH_OUTPUT_DIR")) {
       analysis::Table table(

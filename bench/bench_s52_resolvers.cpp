@@ -1,37 +1,37 @@
 // §5.2 scalar results: validator counts, Item 6/8 adoption, threshold
 // distribution, Item 7 violations, Item 12 gaps and EDE support.
+//
+// `--jobs N` shards each panel's probing sweep over N worker threads; the
+// output is bit-identical for every N (see scanner/parallel.hpp).
 #include "analysis/stats.hpp"
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace zh;
-  auto world = bench::build_world(/*with_domains=*/false);
+  const unsigned jobs = bench::parse_jobs(argc, argv);
   const double rscale = bench::env_double("ZH_RESOLVER_SCALE", 0.01);
-
-  scanner::ResolverProber prober(world.internet->network(),
-                                 simnet::IpAddress::v4(203, 0, 113, 248),
-                                 world.probe_zones);
+  // Probe infrastructure only; each worker thread builds its own world.
+  const workload::EcosystemSpec spec(
+      {.scale = 0.00002, .seed = bench::env_u64("ZH_SEED", 42)});
+  const auto factory =
+      scanner::default_world_factory(spec, /*with_domains=*/false);
 
   scanner::ResolverSweepStats all;
   std::uint64_t validators_by_panel[4] = {};
   std::uint32_t address_base = 1u << 20;
-  std::size_t token = 0;
   const workload::Panel panels[] = {
       workload::Panel::kOpenV4, workload::Panel::kOpenV6,
       workload::Panel::kClosedV4, workload::Panel::kClosedV6};
   for (int p = 0; p < 4; ++p) {
-    const auto spec = workload::figure3_panel(panels[p], rscale);
-    auto population =
-        workload::instantiate_panel(*world.internet, spec, address_base);
+    const auto panel_spec = workload::figure3_panel(panels[p], rscale);
+    const scanner::ParallelSweepResult sweep =
+        scanner::run_resolver_sweep_parallel(
+            panel_spec, factory,
+            "s52-" + workload::to_string(panels[p]) + "-", address_base,
+            {.jobs = jobs, .base_seed = spec.options().seed});
     address_base += 1u << 20;
-    scanner::ResolverSweepStats panel_stats;
-    for (const auto& member : population.members) {
-      const auto result =
-          prober.probe(member.address, "s52-" + std::to_string(token++));
-      all.add(result);
-      panel_stats.add(result);
-    }
-    validators_by_panel[p] = panel_stats.validators;
+    all.merge(sweep.stats);
+    validators_by_panel[p] = sweep.stats.validators;
   }
 
   const double v = static_cast<double>(all.validators);
@@ -95,6 +95,7 @@ int main() {
       });
   std::printf(
       "\nNote: absolute counts scale with ZH_RESOLVER_SCALE; percentages are "
-      "scale-invariant.\n");
+      "scale-invariant (and --jobs-invariant; ran with --jobs %u).\n",
+      jobs);
   return 0;
 }

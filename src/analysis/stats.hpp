@@ -22,6 +22,15 @@ class Ecdf {
   std::uint64_t total() const noexcept { return total_; }
   bool empty() const noexcept { return total_ == 0; }
 
+  /// Folds another distribution in. Merging is commutative and associative:
+  /// any partition of the observations, merged in any order, reproduces the
+  /// unsplit aggregate exactly (counts are integers — no rounding drift).
+  /// This is what makes sharded campaigns bit-identical for any shard count.
+  void merge(const Ecdf& other) {
+    for (const auto& [value, count] : other.counts_) counts_[value] += count;
+    total_ += other.total_;
+  }
+
   /// P(X <= value); 0 for an empty distribution.
   double fraction_at_most(std::int64_t value) const {
     if (total_ == 0) return 0.0;
@@ -93,6 +102,12 @@ class FreqTable {
   void add(const std::string& key, std::uint64_t count = 1) {
     counts_[key] += count;
     total_ += count;
+  }
+
+  /// Folds another table in (same algebra as Ecdf::merge).
+  void merge(const FreqTable& other) {
+    for (const auto& [key, count] : other.counts_) counts_[key] += count;
+    total_ += other.total_;
   }
 
   std::uint64_t total() const noexcept { return total_; }

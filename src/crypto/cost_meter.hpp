@@ -27,6 +27,9 @@ struct CostMeter {
   static void add_sha1_blocks(std::uint64_t n) noexcept { tls().sha1 += n; }
   static void add_sha2_blocks(std::uint64_t n) noexcept { tls().sha2 += n; }
   static void add_nsec3_hash() noexcept { ++tls().nsec3; }
+  /// Bulk credit — used by the parallel campaign engine to attribute its
+  /// workers' (thread-local) hash work back to the calling thread.
+  static void add_nsec3_hashes(std::uint64_t n) noexcept { tls().nsec3 += n; }
 
   /// Resets all counters on the calling thread (test/bench convenience).
   static void reset() noexcept { tls() = Counters{}; }

@@ -31,15 +31,22 @@ std::string exclusive_operator(const std::vector<dns::Name>& ns_names) {
 
 DomainCampaign::DomainCampaign(testbed::Internet& internet,
                                const workload::EcosystemSpec& spec,
-                               simnet::IpAddress scan_resolver)
+                               simnet::IpAddress scan_resolver,
+                               simnet::IpAddress source)
     : internet_(internet),
       spec_(spec),
-      scanner_(internet.network(), simnet::IpAddress::v4(203, 0, 113, 250),
-               scan_resolver) {}
+      scanner_(internet.network(), source, scan_resolver) {}
 
 void DomainCampaign::run(std::size_t limit, std::size_t stride) {
+  run_shard(0, 1, limit, stride);
+}
+
+void DomainCampaign::run_shard(std::size_t shard, std::size_t shards,
+                               std::size_t limit, std::size_t stride) {
   const std::size_t count = std::min(limit, spec_.domain_count());
-  for (std::size_t index = 0; index < count; index += stride) {
+  for (std::size_t position = shard;; position += shards) {
+    const std::size_t index = position * stride;
+    if (index >= count || index / stride != position) break;  // overflow
     const workload::DomainProfile profile = spec_.domain(index);
     const DomainScanResult result = scanner_.scan(profile.apex);
 
@@ -84,6 +91,27 @@ void DomainCampaign::run(std::size_t limit, std::size_t stride) {
     by_index_[record.index] = records_.size();
     records_.push_back(record);
   }
+}
+
+void DomainCampaignStats::merge(const DomainCampaignStats& other) {
+  scanned += other.scanned;
+  dnssec += other.dnssec;
+  nsec3 += other.nsec3;
+  excluded += other.excluded;
+  iterations.merge(other.iterations);
+  salt_len.merge(other.salt_len);
+  zero_iterations += other.zero_iterations;
+  no_salt += other.no_salt;
+  fully_compliant += other.fully_compliant;
+  opt_out += other.opt_out;
+  over_150_iterations += other.over_150_iterations;
+  at_500_iterations += other.at_500_iterations;
+  salt_over_10 += other.salt_over_10;
+  salt_over_45 += other.salt_over_45;
+  salt_at_160 += other.salt_at_160;
+  operators.merge(other.operators);
+  for (const auto& [op, params] : other.operator_params)
+    operator_params[op].merge(params);
 }
 
 const CompactDomainRecord* DomainCampaign::record_for(
@@ -149,6 +177,27 @@ void ResolverSweepStats::add(const ResolverProbeResult& result) {
   if (result.limit_ede &&
       *result.limit_ede == dns::EdeCode::kUnsupportedNsec3Iterations)
     ++ede_on_limit;
+}
+
+void ResolverSweepStats::merge(const ResolverSweepStats& other) {
+  probed += other.probed;
+  validators += other.validators;
+  for (const auto& [iterations, shares] : other.by_iteration) {
+    RcodeShares& mine = by_iteration[iterations];
+    mine.nxdomain += shares.nxdomain;
+    mine.nxdomain_ad += shares.nxdomain_ad;
+    mine.servfail += shares.servfail;
+    mine.total += shares.total;
+  }
+  item6 += other.item6;
+  item8 += other.item8;
+  item7_violations += other.item7_violations;
+  item12_gaps += other.item12_gaps;
+  ede_on_limit += other.ede_on_limit;
+  for (const auto& [limit, count] : other.insecure_limits)
+    insecure_limits[limit] += count;
+  for (const auto& [limit, count] : other.servfail_limits)
+    servfail_limits[limit] += count;
 }
 
 }  // namespace zh::scanner

@@ -50,19 +50,35 @@ struct DomainCampaignStats {
   analysis::FreqTable operators;
   /// Parameter mixes per operator ("iterations/salt-bytes" keys).
   std::map<std::string, analysis::FreqTable> operator_params;
+
+  /// Folds another shard's aggregates in. Commutative and associative, so
+  /// per-shard stats merged in any order equal the unsharded campaign.
+  void merge(const DomainCampaignStats& other);
 };
 
 /// Runs the §4.1 pipeline over the synthetic population through a recursive
 /// resolver node already attached to the internet.
 class DomainCampaign {
  public:
+  /// `source` is the scanner's own address — shard engines give each worker
+  /// a distinct one; no campaign statistic depends on it.
   DomainCampaign(testbed::Internet& internet,
                  const workload::EcosystemSpec& spec,
-                 simnet::IpAddress scan_resolver);
+                 simnet::IpAddress scan_resolver,
+                 simnet::IpAddress source = simnet::IpAddress::v4(203, 0, 113,
+                                                                  250));
 
   /// Scans domain indexes [0, limit) (stride for cheap smoke runs).
   void run(std::size_t limit = static_cast<std::size_t>(-1),
            std::size_t stride = 1);
+
+  /// Scans shard `shard` of `shards`: the positions j ≡ shard (mod shards)
+  /// of the index sequence run() would visit. The union over all shards is
+  /// exactly run()'s visit set, for any shard count, so merging the
+  /// per-shard stats reproduces the serial campaign bit-for-bit.
+  void run_shard(std::size_t shard, std::size_t shards,
+                 std::size_t limit = static_cast<std::size_t>(-1),
+                 std::size_t stride = 1);
 
   const DomainCampaignStats& stats() const noexcept { return stats_; }
   const std::vector<CompactDomainRecord>& records() const noexcept {
@@ -126,6 +142,9 @@ struct ResolverSweepStats {
   std::map<std::uint16_t, std::uint64_t> servfail_limits;
 
   void add(const ResolverProbeResult& result);
+
+  /// Folds another shard's sweep aggregates in (order-invariant).
+  void merge(const ResolverSweepStats& other);
 };
 
 }  // namespace zh::scanner

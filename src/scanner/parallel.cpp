@@ -1,0 +1,198 @@
+#include "scanner/parallel.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+#include "crypto/cost_meter.hpp"
+#include "scanner/resolver_prober.hpp"
+#include "workload/install.hpp"
+
+namespace zh::scanner {
+namespace {
+
+/// Worker-thread hash-work snapshot (the thread-local meters start at zero
+/// on a fresh thread, so the final reading is the worker's total).
+CostTally read_worker_cost() {
+  CostTally cost;
+  cost.sha1_blocks = crypto::CostMeter::sha1_blocks();
+  cost.sha2_blocks = crypto::CostMeter::sha2_blocks();
+  cost.nsec3_hashes = crypto::CostMeter::nsec3_hashes();
+  return cost;
+}
+
+/// Credits summed worker hash-work to the calling thread's meter, so cost
+/// scopes around a parallel campaign see the same totals as a serial run.
+void credit_caller(const CostTally& cost) {
+  crypto::CostMeter::add_sha1_blocks(cost.sha1_blocks);
+  crypto::CostMeter::add_sha2_blocks(cost.sha2_blocks);
+  crypto::CostMeter::add_nsec3_hashes(cost.nsec3_hashes);
+}
+
+void accumulate(CostTally& into, const CostTally& from) {
+  into.sha1_blocks += from.sha1_blocks;
+  into.sha2_blocks += from.sha2_blocks;
+  into.nsec3_hashes += from.nsec3_hashes;
+}
+
+/// Distinct per-shard scanner source address (198.18.0.0/15, the
+/// benchmarking range). No campaign statistic depends on it.
+simnet::IpAddress shard_source(unsigned shard) {
+  return simnet::IpAddress::v4(198, 18, static_cast<std::uint8_t>(shard >> 8),
+                               static_cast<std::uint8_t>(shard & 0xff));
+}
+
+unsigned effective_jobs(const ParallelOptions& options) {
+  return options.jobs == 0 ? default_jobs() : options.jobs;
+}
+
+/// Runs `body(shard)` on `jobs` worker threads and rethrows the first
+/// worker failure (by shard order) after all workers joined.
+void run_sharded(unsigned jobs,
+                 const std::function<void(unsigned shard)>& body) {
+  std::vector<std::exception_ptr> errors(jobs);
+  std::vector<std::thread> workers;
+  workers.reserve(jobs);
+  for (unsigned shard = 0; shard < jobs; ++shard) {
+    workers.emplace_back([shard, &body, &errors] {
+      try {
+        body(shard);
+      } catch (...) {
+        errors[shard] = std::current_exception();
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  for (const auto& error : errors)
+    if (error) std::rethrow_exception(error);
+}
+
+}  // namespace
+
+std::uint64_t shard_seed(std::uint64_t base_seed, std::uint32_t shard_id) {
+  // splitmix64 over the combined value — the same mixer the workload
+  // generator uses for (seed, index) attribute streams.
+  std::uint64_t z = base_seed + 0x9e3779b97f4a7c15ull * (shard_id + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+unsigned default_jobs() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ShardWorldFactory default_world_factory(const workload::EcosystemSpec& spec,
+                                        bool with_domains) {
+  const workload::EcosystemSpec* shared = &spec;
+  return [shared, with_domains](unsigned, unsigned) {
+    ShardWorld world;
+    world.internet = std::make_unique<testbed::Internet>();
+    world.probe_zones = testbed::add_probe_infrastructure(*world.internet);
+    if (with_domains) workload::install_ecosystem(*world.internet, *shared);
+    world.internet->build();
+    world.scan_resolver = world.internet->make_resolver(
+        resolver::ResolverProfile::cloudflare(),
+        simnet::IpAddress::v4(1, 1, 1, 1));
+    return world;
+  };
+}
+
+ParallelCampaignResult run_domain_campaign_parallel(
+    const workload::EcosystemSpec& spec, const ShardWorldFactory& factory,
+    const ParallelOptions& options) {
+  const unsigned jobs = effective_jobs(options);
+
+  struct ShardOutcome {
+    DomainCampaignStats stats;
+    std::vector<CompactDomainRecord> records;
+    std::uint64_t queries = 0;
+    CostTally cost;
+  };
+  std::vector<ShardOutcome> outcomes(jobs);
+
+  run_sharded(jobs, [&](unsigned shard) {
+    ShardOutcome& out = outcomes[shard];
+    ShardWorld world = factory(shard, jobs);
+    if (options.loss_probability > 0.0) {
+      world.internet->network().set_loss(options.loss_probability,
+                                         shard_seed(options.base_seed, shard));
+    }
+    DomainCampaign campaign(*world.internet, spec,
+                            world.scan_resolver->address(),
+                            shard_source(shard));
+    campaign.run_shard(shard, jobs, options.limit, options.stride);
+    out.stats = campaign.stats();
+    out.records = campaign.records();
+    out.queries = campaign.queries_issued();
+    out.cost = read_worker_cost();
+  });
+
+  ParallelCampaignResult result;
+  result.jobs = jobs;
+  for (const ShardOutcome& out : outcomes) {
+    result.stats.merge(out.stats);
+    result.records.insert(result.records.end(), out.records.begin(),
+                          out.records.end());
+    result.queries_issued += out.queries;
+    accumulate(result.cost, out.cost);
+  }
+  // Shards interleave by position; re-sorting by domain index restores the
+  // serial scan order, making the record list K-invariant too.
+  std::sort(result.records.begin(), result.records.end(),
+            [](const CompactDomainRecord& a, const CompactDomainRecord& b) {
+              return a.index < b.index;
+            });
+  credit_caller(result.cost);
+  return result;
+}
+
+ParallelSweepResult run_resolver_sweep_parallel(
+    const workload::PanelSpec& panel, const ShardWorldFactory& factory,
+    const std::string& token_prefix, std::uint32_t address_base,
+    const ParallelOptions& options) {
+  const unsigned jobs = effective_jobs(options);
+
+  struct ShardOutcome {
+    ResolverSweepStats stats;
+    std::uint64_t queries = 0;
+    std::size_t population = 0;
+    CostTally cost;
+  };
+  std::vector<ShardOutcome> outcomes(jobs);
+
+  run_sharded(jobs, [&](unsigned shard) {
+    ShardOutcome& out = outcomes[shard];
+    ShardWorld world = factory(shard, jobs);
+    if (options.loss_probability > 0.0) {
+      world.internet->network().set_loss(options.loss_probability,
+                                         shard_seed(options.base_seed, shard));
+    }
+    // Every worker instantiates the full (identical) population; it only
+    // probes its own members. Instantiation is cheap next to probing.
+    workload::BuiltPopulation population = workload::instantiate_panel(
+        *world.internet, panel, address_base, options.population_seed);
+    ResolverProber prober(world.internet->network(), shard_source(shard),
+                          world.probe_zones);
+    if (shard == 0) out.population = population.members.size();
+    for (std::size_t j = shard; j < population.members.size(); j += jobs) {
+      out.stats.add(prober.probe(population.members[j].address,
+                                 token_prefix + std::to_string(j)));
+    }
+    out.queries = prober.queries_issued();
+    out.cost = read_worker_cost();
+  });
+
+  ParallelSweepResult result;
+  result.jobs = jobs;
+  for (const ShardOutcome& out : outcomes) {
+    result.stats.merge(out.stats);
+    result.queries_issued += out.queries;
+    result.population += out.population;
+    accumulate(result.cost, out.cost);
+  }
+  credit_caller(result.cost);
+  return result;
+}
+
+}  // namespace zh::scanner

@@ -1,0 +1,126 @@
+// Sharded parallel campaign engine.
+//
+// The paper's pipelines are embarrassingly parallel over their populations
+// (ZDNS gets its throughput from exactly this shape: independent resolver
+// pipelines feeding a mergeable aggregator), but zh::simnet::Network is
+// strictly single-threaded. The engine therefore splits a campaign into K
+// deterministic shards, gives each worker thread its *own*
+// testbed::Internet (rebuilt from the same spec — construction is a pure
+// function of the seed, so every worker sees a byte-identical world), runs
+// the shards concurrently, and merges the per-shard aggregates.
+//
+// Determinism guarantees:
+//  * Shard s of K covers the positions j ≡ s (mod K) of the serial visit
+//    order, so the union of shards is exactly the serial work list.
+//  * Every per-item observation is a pure function of the item (zones,
+//    profiles and probe answers derive from (seed, index), never from scan
+//    order), and merging is integer-count addition — commutative and
+//    associative. Campaign statistics are therefore bit-identical for any
+//    jobs value, including 1, and for any merge order.
+//  * Anything genuinely stochastic (simulated loss) is seeded per worker
+//    via shard_seed(base_seed, shard); enabling it keeps runs reproducible
+//    for a fixed K but — inherently — not comparable across K.
+//
+// Cost accounting: crypto::CostMeter is thread-local. The engine snapshots
+// each worker's counters and credits the totals back to the calling
+// thread's meter, so a Sha1WorkScope around a parallel campaign reports the
+// same hash work as the serial run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "scanner/campaign.hpp"
+#include "testbed/internet.hpp"
+#include "workload/resolver_population.hpp"
+#include "workload/spec.hpp"
+
+namespace zh::scanner {
+
+/// Per-worker seed, derived splitmix64-style so that neighbouring shard ids
+/// yield statistically independent streams.
+std::uint64_t shard_seed(std::uint64_t base_seed, std::uint32_t shard_id);
+
+/// `std::thread::hardware_concurrency()`, floored at 1.
+unsigned default_jobs();
+
+/// One worker's private world. Destroyed members in reverse order: the
+/// resolver detaches before the internet (and its network) goes away.
+struct ShardWorld {
+  std::unique_ptr<testbed::Internet> internet;
+  std::vector<testbed::ProbeZone> probe_zones;
+  std::unique_ptr<resolver::RecursiveResolver> scan_resolver;
+};
+
+/// Builds one worker's world; invoked *inside* the worker thread so the
+/// simnet owner-thread binding lands on the thread that will drive it.
+using ShardWorldFactory = std::function<ShardWorld(unsigned shard,
+                                                   unsigned jobs)>;
+
+/// The standard factory: probe infrastructure + (optionally) the synthetic
+/// domain ecosystem + a Cloudflare-profile scan resolver at 1.1.1.1 — the
+/// same world bench_common.hpp builds. The spec is shared read-only across
+/// workers and must outlive the campaign.
+ShardWorldFactory default_world_factory(const workload::EcosystemSpec& spec,
+                                        bool with_domains = true);
+
+struct ParallelOptions {
+  /// Worker count K. 0 means default_jobs().
+  unsigned jobs = 1;
+  /// Forwarded to DomainCampaign::run_shard.
+  std::size_t limit = static_cast<std::size_t>(-1);
+  std::size_t stride = 1;
+  /// Base seed for per-worker derived seeds (loss RNG).
+  std::uint64_t base_seed = 42;
+  /// Seed for resolver-population instantiation: deliberately *not* shard-
+  /// derived, so every worker instantiates the identical population.
+  std::uint64_t population_seed = 7;
+  /// Simulated query loss inside each worker's network (0 disables).
+  /// Non-zero loss is reproducible for a fixed K but not across K.
+  double loss_probability = 0.0;
+};
+
+/// Hash work performed by the engine's workers (summed over shards).
+struct CostTally {
+  std::uint64_t sha1_blocks = 0;
+  std::uint64_t sha2_blocks = 0;
+  std::uint64_t nsec3_hashes = 0;
+};
+
+struct ParallelCampaignResult {
+  DomainCampaignStats stats;
+  /// All shards' records, re-sorted by domain index (== serial order).
+  std::vector<CompactDomainRecord> records;
+  std::uint64_t queries_issued = 0;
+  CostTally cost;
+  unsigned jobs = 1;
+};
+
+/// Runs the §4.1 domain campaign sharded K ways. Statistics, records and
+/// query counts are bit-identical for every K.
+ParallelCampaignResult run_domain_campaign_parallel(
+    const workload::EcosystemSpec& spec, const ShardWorldFactory& factory,
+    const ParallelOptions& options);
+
+struct ParallelSweepResult {
+  ResolverSweepStats stats;
+  std::uint64_t queries_issued = 0;
+  std::size_t population = 0;  // members probed (validators + filtered)
+  CostTally cost;
+  unsigned jobs = 1;
+};
+
+/// Runs the §4.2 resolver probing sweep over one Figure 3 panel sharded K
+/// ways. Every worker instantiates the identical panel population in its
+/// own world (instantiate_panel is deterministic) and probes the members
+/// j ≡ shard (mod K); probe tokens are keyed by the member's global index,
+/// so query names — and therefore every observation — are K-invariant.
+ParallelSweepResult run_resolver_sweep_parallel(
+    const workload::PanelSpec& panel, const ShardWorldFactory& factory,
+    const std::string& token_prefix, std::uint32_t address_base,
+    const ParallelOptions& options);
+
+}  // namespace zh::scanner

@@ -15,6 +15,18 @@
 #include "dns/message.hpp"
 #include "simnet/address.hpp"
 
+// Debug-mode enforcement of the one-thread-per-Network contract (below).
+// Enabled in non-NDEBUG builds and in sanitizer builds (ZH_THREAD_CHECKS is
+// defined by -DZH_SANITIZE=...), where catching a cross-thread use early is
+// worth the two relaxed atomic ops per delivery.
+#if !defined(NDEBUG) || defined(ZH_THREAD_CHECKS)
+#define ZH_SIMNET_THREAD_CHECKS 1
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#endif
+
 namespace zh::simnet {
 
 /// A node's query handler: query + source address → response (nullopt means
@@ -38,10 +50,29 @@ using TamperHook = std::function<bool(dns::Message& response,
 
 /// The network. Single-threaded and deterministic: queries are synchronous
 /// calls, loss is driven by a seeded RNG.
+///
+/// ## Threading contract: one Network per worker thread
+///
+/// A Network instance (and everything attached to it — servers, resolvers,
+/// the whole testbed::Internet it belongs to) must only ever be driven by
+/// one thread. send()/send_tcp() mutate shared state through const-free
+/// paths (`truncations_`, `queries_sent_`, the query log, the loss RNG, and
+/// every node handler's own caches), none of which is synchronised —
+/// synchronisation would serialise exactly the hot path that sharded
+/// campaigns split across workers. Parallel engines therefore give each
+/// worker its own Internet (see scanner/parallel.hpp) instead of sharing
+/// one.
+///
+/// In debug and sanitizer builds the contract is enforced: the instance
+/// binds to the first thread that attaches a node or sends a query, and any
+/// use from a second thread aborts with a diagnostic. A deliberate handover
+/// (build on one thread, drive from another after a happens-before edge,
+/// e.g. std::thread creation) must call rebind_owner_thread() first.
 class Network {
  public:
   /// Registers a node. Re-attaching an address replaces its handler.
   void attach(const IpAddress& address, MessageHandler handler) {
+    assert_owner_thread();
     nodes_[address] = std::move(handler);
   }
 
@@ -111,10 +142,41 @@ class Network {
     loss_rng_.seed(seed);
   }
 
+  /// Releases the debug-mode thread binding so another thread may take the
+  /// instance over (see the threading contract above). The caller is
+  /// responsible for the happens-before edge between the two threads.
+  /// No-op in release builds.
+  void rebind_owner_thread() noexcept {
+#ifdef ZH_SIMNET_THREAD_CHECKS
+    owner_thread_.store(std::thread::id{}, std::memory_order_relaxed);
+#endif
+  }
+
  private:
+#ifdef ZH_SIMNET_THREAD_CHECKS
+  void assert_owner_thread() const {
+    const std::thread::id self = std::this_thread::get_id();
+    std::thread::id expected{};  // unbound
+    if (owner_thread_.compare_exchange_strong(expected, self,
+                                              std::memory_order_relaxed))
+      return;  // first use: this thread now owns the instance
+    if (expected != self) {
+      std::fprintf(stderr,
+                   "zh::simnet::Network: instance driven from two threads — "
+                   "the one-network-per-worker contract is violated (see "
+                   "simnet/network.hpp). Use one Internet per worker, or "
+                   "rebind_owner_thread() for a deliberate handover.\n");
+      std::abort();
+    }
+  }
+#else
+  void assert_owner_thread() const noexcept {}
+#endif
+
   std::optional<dns::Message> deliver(const IpAddress& from,
                                       const IpAddress& to,
                                       const dns::Message& query) {
+    assert_owner_thread();
     ++queries_sent_;
     if (loss_probability_ > 0.0 &&
         loss_dist_(loss_rng_) < loss_probability_)
@@ -146,6 +208,9 @@ class Network {
   double loss_probability_ = 0.0;
   std::mt19937_64 loss_rng_{1};
   std::uniform_real_distribution<double> loss_dist_{0.0, 1.0};
+#ifdef ZH_SIMNET_THREAD_CHECKS
+  mutable std::atomic<std::thread::id> owner_thread_{};
+#endif
 };
 
 }  // namespace zh::simnet

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Builds and runs the tier-1 test suite under ThreadSanitizer and
+# AddressSanitizer (-DZH_SANITIZE=thread|address). Both flavours also
+# define ZH_THREAD_CHECKS, so the simnet owner-thread contract is enforced
+# even though the optimized build type strips asserts.
+#
+#   tests/run_sanitizers.sh [thread|address ...]
+#
+# With no arguments both sanitizers run. Build trees live next to the
+# default one as build-tsan/ and build-asan/. Exits non-zero on the first
+# build or test failure.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 2)"
+sanitizers=("$@")
+if [ ${#sanitizers[@]} -eq 0 ]; then
+  sanitizers=(thread address)
+fi
+
+# halt_on_error makes CI fail loudly instead of logging and continuing.
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1 halt_on_error=1}"
+
+for sanitizer in "${sanitizers[@]}"; do
+  case "$sanitizer" in
+    thread)  build_dir="$repo_root/build-tsan" ;;
+    address) build_dir="$repo_root/build-asan" ;;
+    *) echo "unknown sanitizer '$sanitizer' (want thread|address)" >&2
+       exit 2 ;;
+  esac
+
+  echo "==> [$sanitizer] configuring $build_dir"
+  cmake -S "$repo_root" -B "$build_dir" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DZH_SANITIZE="$sanitizer" >/dev/null
+
+  echo "==> [$sanitizer] building (-j$jobs)"
+  cmake --build "$build_dir" -j"$jobs"
+
+  echo "==> [$sanitizer] running tier-1 suite"
+  ctest --test-dir "$build_dir" --output-on-failure -j"$jobs"
+  echo "==> [$sanitizer] clean"
+done
+
+echo "All sanitizer suites passed: ${sanitizers[*]}"

@@ -1,0 +1,196 @@
+// Property tests for the mergeable statistics primitives behind the
+// sharded campaign engine: merging any partition of the observations, in
+// any order, must reproduce the unsplit aggregate exactly — this is what
+// makes parallel campaigns bit-identical for every shard count.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "analysis/stats.hpp"
+
+namespace zh::analysis {
+namespace {
+
+/// Random observation stream with a heavy-ish tail (like iteration counts).
+std::vector<std::int64_t> random_values(std::mt19937_64& rng,
+                                        std::size_t count) {
+  std::vector<std::int64_t> values;
+  values.reserve(count);
+  std::uniform_int_distribution<std::int64_t> body(0, 25);
+  std::uniform_int_distribution<std::int64_t> tail(0, 500);
+  std::bernoulli_distribution is_tail(0.05);
+  for (std::size_t i = 0; i < count; ++i)
+    values.push_back(is_tail(rng) ? tail(rng) : body(rng));
+  return values;
+}
+
+/// Splits `values` into `parts` random (possibly empty) chunks.
+std::vector<std::vector<std::int64_t>> random_partition(
+    std::mt19937_64& rng, const std::vector<std::int64_t>& values,
+    std::size_t parts) {
+  std::vector<std::vector<std::int64_t>> chunks(parts);
+  std::uniform_int_distribution<std::size_t> pick(0, parts - 1);
+  for (const auto value : values) chunks[pick(rng)].push_back(value);
+  return chunks;
+}
+
+void expect_same_ecdf(const Ecdf& a, const Ecdf& b) {
+  EXPECT_EQ(a.total(), b.total());
+  EXPECT_EQ(a.histogram(), b.histogram());
+  // Derived quantities follow from the histogram, but spell the paper's
+  // anchor queries out so a regression names the broken query directly.
+  for (const std::int64_t x : {0ll, 1ll, 10ll, 25ll, 150ll, 500ll}) {
+    EXPECT_DOUBLE_EQ(a.fraction_at_most(x), b.fraction_at_most(x)) << x;
+    EXPECT_EQ(a.count_above(x), b.count_above(x)) << x;
+  }
+  for (const double p : {0.01, 0.122, 0.5, 0.9, 0.972, 0.999, 1.0})
+    EXPECT_EQ(a.percentile(p), b.percentile(p)) << p;
+}
+
+TEST(EcdfMerge, MergeOfRandomPartitionsEqualsWhole) {
+  std::mt19937_64 rng(20240315);
+  for (int round = 0; round < 20; ++round) {
+    const auto values = random_values(rng, 2000);
+    Ecdf whole;
+    for (const auto v : values) whole.add(v);
+
+    std::uniform_int_distribution<std::size_t> parts_dist(1, 16);
+    const auto chunks = random_partition(rng, values, parts_dist(rng));
+
+    std::vector<Ecdf> shards(chunks.size());
+    for (std::size_t i = 0; i < chunks.size(); ++i)
+      for (const auto v : chunks[i]) shards[i].add(v);
+
+    // Merge in a random order: the result must not depend on it.
+    std::vector<std::size_t> order(chunks.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::shuffle(order.begin(), order.end(), rng);
+
+    Ecdf merged;
+    for (const auto i : order) merged.merge(shards[i]);
+    expect_same_ecdf(whole, merged);
+  }
+}
+
+TEST(EcdfMerge, EmptyIsIdentity) {
+  Ecdf empty;
+  Ecdf some;
+  some.add(0, 122);
+  some.add(500, 12);
+
+  Ecdf left = some;
+  left.merge(empty);
+  expect_same_ecdf(left, some);
+
+  Ecdf right;
+  right.merge(some);
+  expect_same_ecdf(right, some);
+
+  Ecdf both;
+  both.merge(empty);
+  EXPECT_TRUE(both.empty());
+  EXPECT_EQ(both.total(), 0u);
+}
+
+TEST(EcdfMerge, WeightedCountsAddUp) {
+  Ecdf a, b;
+  a.add(7, 10);
+  b.add(7, 32);
+  b.add(9, 1);
+  a.merge(b);
+  EXPECT_EQ(a.count_of(7), 42u);
+  EXPECT_EQ(a.count_of(9), 1u);
+  EXPECT_EQ(a.total(), 43u);
+  EXPECT_EQ(a.min(), 7);
+  EXPECT_EQ(a.max(), 9);
+}
+
+TEST(EcdfMerge, PercentileStabilityUnderResharding) {
+  // The same population split 2, 3, 5 and 11 ways must answer every
+  // percentile query identically.
+  std::mt19937_64 rng(777);
+  const auto values = random_values(rng, 5000);
+  Ecdf whole;
+  for (const auto v : values) whole.add(v);
+
+  for (const std::size_t parts : {2u, 3u, 5u, 11u}) {
+    Ecdf merged;
+    std::vector<Ecdf> shards(parts);
+    for (std::size_t i = 0; i < values.size(); ++i)
+      shards[i % parts].add(values[i]);
+    for (const auto& shard : shards) merged.merge(shard);
+    for (int i = 0; i <= 100; ++i) {
+      const double p = i / 100.0;
+      EXPECT_EQ(whole.percentile(p), merged.percentile(p))
+          << "p=" << p << " parts=" << parts;
+    }
+  }
+}
+
+TEST(FreqTableMerge, MergeOfRandomPartitionsEqualsWhole) {
+  std::mt19937_64 rng(4242);
+  const std::vector<std::string> keys = {"squarespace", "one.com",  "ovh",
+                                         "wix",         "transip",  "loopia",
+                                         "hostnet",     "register", "other"};
+  std::uniform_int_distribution<std::size_t> key_dist(0, keys.size() - 1);
+
+  for (int round = 0; round < 20; ++round) {
+    std::vector<std::string> stream;
+    for (int i = 0; i < 1500; ++i) stream.push_back(keys[key_dist(rng)]);
+
+    FreqTable whole;
+    for (const auto& key : stream) whole.add(key);
+
+    std::uniform_int_distribution<std::size_t> parts_dist(1, 12);
+    const std::size_t parts = parts_dist(rng);
+    std::vector<FreqTable> shards(parts);
+    std::uniform_int_distribution<std::size_t> pick(0, parts - 1);
+    for (const auto& key : stream) shards[pick(rng)].add(key);
+
+    std::vector<std::size_t> order(parts);
+    for (std::size_t i = 0; i < parts; ++i) order[i] = i;
+    std::shuffle(order.begin(), order.end(), rng);
+
+    FreqTable merged;
+    for (const auto i : order) merged.merge(shards[i]);
+
+    EXPECT_EQ(merged.total(), whole.total());
+    EXPECT_EQ(merged.raw(), whole.raw());
+    EXPECT_EQ(merged.top(5), whole.top(5));
+    for (const auto& key : keys)
+      EXPECT_DOUBLE_EQ(merged.share(key), whole.share(key)) << key;
+  }
+}
+
+TEST(FreqTableMerge, EmptyIsIdentity) {
+  FreqTable empty;
+  FreqTable some;
+  some.add("squarespace", 394);
+
+  FreqTable left = some;
+  left.merge(empty);
+  EXPECT_EQ(left.raw(), some.raw());
+  EXPECT_EQ(left.total(), some.total());
+
+  FreqTable right;
+  right.merge(some);
+  EXPECT_EQ(right.raw(), some.raw());
+  EXPECT_EQ(right.total(), some.total());
+}
+
+TEST(FreqTableMerge, WeightedCountsAddUp) {
+  FreqTable a, b;
+  a.add("op", 3);
+  b.add("op", 4);
+  b.add("other", 1);
+  a.merge(b);
+  EXPECT_EQ(a.count_of("op"), 7u);
+  EXPECT_EQ(a.count_of("other"), 1u);
+  EXPECT_EQ(a.total(), 8u);
+}
+
+}  // namespace
+}  // namespace zh::analysis

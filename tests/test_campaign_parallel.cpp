@@ -1,0 +1,211 @@
+// Tests for the sharded parallel campaign engine (scanner/parallel.hpp):
+// the engine's central promise is that §5.1/§5.2 aggregates are
+// bit-identical for every --jobs value, and that per-shard statistics
+// merged in any order reproduce the unsharded campaign.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "scanner/parallel.hpp"
+#include "workload/install.hpp"
+#include "workload/resolver_population.hpp"
+
+namespace zh::scanner {
+namespace {
+
+void expect_same_stats(const DomainCampaignStats& a,
+                       const DomainCampaignStats& b) {
+  EXPECT_EQ(a.scanned, b.scanned);
+  EXPECT_EQ(a.dnssec, b.dnssec);
+  EXPECT_EQ(a.nsec3, b.nsec3);
+  EXPECT_EQ(a.excluded, b.excluded);
+  EXPECT_EQ(a.iterations.histogram(), b.iterations.histogram());
+  EXPECT_EQ(a.salt_len.histogram(), b.salt_len.histogram());
+  EXPECT_EQ(a.zero_iterations, b.zero_iterations);
+  EXPECT_EQ(a.no_salt, b.no_salt);
+  EXPECT_EQ(a.fully_compliant, b.fully_compliant);
+  EXPECT_EQ(a.opt_out, b.opt_out);
+  EXPECT_EQ(a.over_150_iterations, b.over_150_iterations);
+  EXPECT_EQ(a.at_500_iterations, b.at_500_iterations);
+  EXPECT_EQ(a.salt_over_10, b.salt_over_10);
+  EXPECT_EQ(a.salt_over_45, b.salt_over_45);
+  EXPECT_EQ(a.salt_at_160, b.salt_at_160);
+  EXPECT_EQ(a.operators.raw(), b.operators.raw());
+  ASSERT_EQ(a.operator_params.size(), b.operator_params.size());
+  for (const auto& [op, params] : a.operator_params) {
+    const auto it = b.operator_params.find(op);
+    ASSERT_NE(it, b.operator_params.end()) << op;
+    EXPECT_EQ(params.raw(), it->second.raw()) << op;
+  }
+}
+
+void expect_same_sweep(const ResolverSweepStats& a,
+                       const ResolverSweepStats& b) {
+  EXPECT_EQ(a.probed, b.probed);
+  EXPECT_EQ(a.validators, b.validators);
+  ASSERT_EQ(a.by_iteration.size(), b.by_iteration.size());
+  for (const auto& [iterations, shares] : a.by_iteration) {
+    const auto it = b.by_iteration.find(iterations);
+    ASSERT_NE(it, b.by_iteration.end()) << iterations;
+    EXPECT_EQ(shares.nxdomain, it->second.nxdomain) << iterations;
+    EXPECT_EQ(shares.nxdomain_ad, it->second.nxdomain_ad) << iterations;
+    EXPECT_EQ(shares.servfail, it->second.servfail) << iterations;
+    EXPECT_EQ(shares.total, it->second.total) << iterations;
+  }
+  EXPECT_EQ(a.item6, b.item6);
+  EXPECT_EQ(a.item8, b.item8);
+  EXPECT_EQ(a.item7_violations, b.item7_violations);
+  EXPECT_EQ(a.item12_gaps, b.item12_gaps);
+  EXPECT_EQ(a.ede_on_limit, b.ede_on_limit);
+  EXPECT_EQ(a.insecure_limits, b.insecure_limits);
+  EXPECT_EQ(a.servfail_limits, b.servfail_limits);
+}
+
+// ISSUE acceptance: --jobs 1 and --jobs 8 produce identical
+// DomainCampaignStats on a 1:10000-scale population.
+TEST(ParallelCampaign, JobsOneAndEightBitIdentical) {
+  const workload::EcosystemSpec spec({.scale = 0.0001, .seed = 42});
+  const auto factory = default_world_factory(spec);
+
+  const ParallelCampaignResult serial = run_domain_campaign_parallel(
+      spec, factory, {.jobs = 1, .base_seed = 42});
+  const ParallelCampaignResult sharded = run_domain_campaign_parallel(
+      spec, factory, {.jobs = 8, .base_seed = 42});
+
+  EXPECT_EQ(serial.jobs, 1u);
+  EXPECT_EQ(sharded.jobs, 8u);
+  EXPECT_GT(serial.stats.scanned, 0u);
+  expect_same_stats(serial.stats, sharded.stats);
+  EXPECT_EQ(serial.queries_issued, sharded.queries_issued);
+
+  // Per-domain records must agree too, not just the aggregates.
+  ASSERT_EQ(serial.records.size(), sharded.records.size());
+  for (std::size_t i = 0; i < serial.records.size(); ++i) {
+    const auto& r1 = serial.records[i];
+    const auto& r8 = sharded.records[i];
+    EXPECT_EQ(r1.index, r8.index);
+    EXPECT_EQ(r1.classification, r8.classification) << r1.index;
+    EXPECT_EQ(r1.iterations, r8.iterations) << r1.index;
+    EXPECT_EQ(r1.salt_len, r8.salt_len) << r1.index;
+    EXPECT_EQ(r1.opt_out, r8.opt_out) << r1.index;
+  }
+
+  // The cost tally is credited back to the calling thread's meter, but it
+  // is NOT jobs-invariant: every worker builds (and signs) its own private
+  // world, so construction hashing scales with the worker count while the
+  // scan-side work stays the same. Pin the direction, not equality.
+  EXPECT_GT(serial.cost.sha1_blocks, 0u);
+  EXPECT_GE(sharded.cost.sha1_blocks, serial.cost.sha1_blocks);
+  EXPECT_GE(sharded.cost.nsec3_hashes, serial.cost.nsec3_hashes);
+}
+
+// jobs values that do not divide the population exercise the ragged tail.
+TEST(ParallelCampaign, RaggedShardCountsStayIdentical) {
+  const workload::EcosystemSpec spec({.scale = 0.00002, .seed = 42});
+  const auto factory = default_world_factory(spec);
+
+  const ParallelCampaignResult baseline = run_domain_campaign_parallel(
+      spec, factory, {.jobs = 1, .base_seed = 42});
+  for (const unsigned jobs : {2u, 3u, 7u}) {
+    const ParallelCampaignResult run = run_domain_campaign_parallel(
+        spec, factory, {.jobs = jobs, .base_seed = 42});
+    SCOPED_TRACE(jobs);
+    expect_same_stats(baseline.stats, run.stats);
+    EXPECT_EQ(baseline.queries_issued, run.queries_issued);
+    EXPECT_EQ(baseline.records.size(), run.records.size());
+  }
+}
+
+// limit/stride shard exactly like the serial driver honours them.
+TEST(ParallelCampaign, LimitAndStrideAreShardInvariant) {
+  const workload::EcosystemSpec spec({.scale = 0.0001, .seed = 42});
+  const auto factory = default_world_factory(spec);
+  const ParallelOptions serial = {
+      .jobs = 1, .limit = 120, .stride = 3, .base_seed = 42};
+  ParallelOptions sharded = serial;
+  sharded.jobs = 5;
+
+  const auto a = run_domain_campaign_parallel(spec, factory, serial);
+  const auto b = run_domain_campaign_parallel(spec, factory, sharded);
+  // `limit` bounds the index range, `stride` subsamples it: 120 / 3 scans.
+  EXPECT_EQ(a.stats.scanned, 40u);
+  expect_same_stats(a.stats, b.stats);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i)
+    EXPECT_EQ(a.records[i].index, b.records[i].index);
+}
+
+// Merging per-shard statistics in ANY permutation reproduces the unsharded
+// campaign — the algebraic property the engine's merge step relies on.
+TEST(ParallelCampaign, ShardMergeIsPermutationInvariant) {
+  const workload::EcosystemSpec spec({.scale = 0.00002, .seed = 42});
+  testbed::Internet internet;
+  testbed::add_probe_infrastructure(internet);
+  workload::install_ecosystem(internet, spec);
+  internet.build();
+  const auto resolver = internet.make_resolver(
+      resolver::ResolverProfile::cloudflare(), simnet::IpAddress::v4(1, 1, 1, 1));
+
+  DomainCampaign whole(internet, spec, resolver->address());
+  whole.run();
+
+  constexpr std::size_t kShards = 6;
+  std::vector<DomainCampaignStats> shard_stats;
+  for (std::size_t shard = 0; shard < kShards; ++shard) {
+    DomainCampaign piece(
+        internet, spec, resolver->address(),
+        simnet::IpAddress::v4(203, 0, 113,
+                              static_cast<std::uint8_t>(10 + shard)));
+    piece.run_shard(shard, kShards);
+    shard_stats.push_back(piece.stats());
+  }
+
+  std::vector<std::size_t> order(kShards);
+  for (std::size_t i = 0; i < kShards; ++i) order[i] = i;
+  std::mt19937_64 rng(99);  // seeded shuffle: the property test is repeatable
+  for (int round = 0; round < 10; ++round) {
+    std::shuffle(order.begin(), order.end(), rng);
+    DomainCampaignStats merged;
+    for (const auto i : order) merged.merge(shard_stats[i]);
+    expect_same_stats(whole.stats(), merged);
+  }
+}
+
+// The §4.2 resolver sweep engine: a small mixed panel probed with different
+// jobs values yields identical ResolverSweepStats.
+TEST(ParallelSweep, JobsInvariantOnMixedPanel) {
+  using resolver::ResolverProfile;
+  workload::PanelSpec panel;
+  panel.panel = workload::Panel::kOpenV4;
+  panel.validator_count = 18;
+  panel.non_validator_count = 4;
+  panel.entries = {
+      {ResolverProfile::bind9_2021(), 0.4, ""},
+      {ResolverProfile::google_public_dns(), 0.25, ""},
+      {ResolverProfile::cloudflare(), 0.2, ""},
+      {ResolverProfile::strict_zero(), 0.1, ""},
+      {ResolverProfile::item12_gap(), 0.05, ""},
+  };
+
+  const workload::EcosystemSpec spec({.scale = 0.00002, .seed = 42});
+  const auto factory = default_world_factory(spec, /*with_domains=*/false);
+
+  const ParallelSweepResult serial = run_resolver_sweep_parallel(
+      panel, factory, "tpar-", 1u << 21, {.jobs = 1, .base_seed = 42});
+  EXPECT_EQ(serial.stats.probed, 22u);
+  EXPECT_EQ(serial.stats.validators, 18u);
+
+  for (const unsigned jobs : {3u, 8u}) {
+    const ParallelSweepResult sharded = run_resolver_sweep_parallel(
+        panel, factory, "tpar-", 1u << 21, {.jobs = jobs, .base_seed = 42});
+    SCOPED_TRACE(jobs);
+    expect_same_sweep(serial.stats, sharded.stats);
+    EXPECT_EQ(serial.queries_issued, sharded.queries_issued);
+    EXPECT_EQ(serial.population, sharded.population);
+  }
+}
+
+}  // namespace
+}  // namespace zh::scanner

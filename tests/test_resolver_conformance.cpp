@@ -1,0 +1,247 @@
+// Regression test pinning the Figure 3 / §5.2 resolver-probe conformance
+// surface: for EVERY vendor profile in resolver/policy.cpp, the exact
+// (RCODE, AD, EDE) the §4.2 prober observes at each anchor iteration
+// count, plus the inferred Item 6/7/8/12 flags and limits. Any change to a
+// profile's limit, EDE emission or downgrade behaviour fails here with the
+// offending (profile, it-N) pair named — the pdns assertRcodeEqual idiom.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scanner/resolver_prober.hpp"
+#include "workload/install.hpp"
+
+namespace zh::scanner {
+namespace {
+
+using dns::EdeCode;
+using dns::Rcode;
+using resolver::ResolverProfile;
+using simnet::IpAddress;
+
+/// Anchor points of the it-N probe grid: both sides of every limit the
+/// policy layer implements (0, 50, 100, 150) plus the sweep extremes.
+constexpr std::uint16_t kAnchors[] = {1,   25,  50,  51,  100,
+                                      101, 150, 151, 200, 500};
+
+/// Expected observation for one (profile, it-N) cell.
+struct GoldenRow {
+  std::uint16_t iterations;
+  Rcode rcode;
+  bool ad;
+  std::optional<EdeCode> ede;
+};
+
+enum class LimitMode { kNone, kInsecure, kServfail };
+
+/// Expands a profile's golden rows from its pinned limit behaviour:
+/// below/at the limit the probe resolves NXDOMAIN+AD; above it, either
+/// NXDOMAIN without AD (Item 6) or SERVFAIL (Item 8), carrying `ede`.
+std::vector<GoldenRow> golden_rows(LimitMode mode, std::uint16_t limit,
+                                   std::optional<EdeCode> ede) {
+  std::vector<GoldenRow> rows;
+  for (const std::uint16_t n : kAnchors) {
+    if (mode == LimitMode::kNone || n <= limit) {
+      rows.push_back({n, Rcode::kNxDomain, true, std::nullopt});
+    } else if (mode == LimitMode::kInsecure) {
+      rows.push_back({n, Rcode::kNxDomain, false, ede});
+    } else {
+      rows.push_back({n, Rcode::kServFail, false, ede});
+    }
+  }
+  return rows;
+}
+
+struct GoldenProfile {
+  std::string label;
+  ResolverProfile profile;
+  std::vector<GoldenRow> rows;
+  // Inferred-behaviour pins (§4.2 classification).
+  bool item6 = false;
+  bool item8 = false;
+  std::optional<std::uint16_t> insecure_limit;
+  std::optional<std::uint16_t> servfail_limit;
+  bool item7_violation = false;
+  bool item12_gap = false;
+  std::optional<EdeCode> limit_ede;
+};
+
+std::vector<GoldenProfile> golden_table() {
+  constexpr auto kNone = LimitMode::kNone;
+  constexpr auto kIns = LimitMode::kInsecure;
+  constexpr auto kSf = LimitMode::kServfail;
+  constexpr auto kEde27 = EdeCode::kUnsupportedNsec3Iterations;
+  std::vector<GoldenProfile> table;
+
+  // 2021-era software: insecure above 150, no EDE (Item 6 only).
+  for (auto [label, profile] :
+       {std::pair{"bind9_2021", ResolverProfile::bind9_2021()},
+        std::pair{"unbound", ResolverProfile::unbound()},
+        std::pair{"knot_2021", ResolverProfile::knot_2021()},
+        std::pair{"powerdns_2021", ResolverProfile::powerdns_2021()},
+        std::pair{"quad9", ResolverProfile::quad9()}}) {
+    table.push_back({label, profile, golden_rows(kIns, 150, std::nullopt),
+                     /*item6=*/true, /*item8=*/false, 150, std::nullopt,
+                     false, false, std::nullopt});
+  }
+
+  // CVE-era releases: limit dropped to 50, EDE 27 attached.
+  for (auto [label, profile] :
+       {std::pair{"bind9_2023", ResolverProfile::bind9_2023()},
+        std::pair{"knot_2023", ResolverProfile::knot_2023()},
+        std::pair{"powerdns_2023", ResolverProfile::powerdns_2023()}}) {
+    table.push_back({label, profile, golden_rows(kIns, 50, kEde27),
+                     /*item6=*/true, /*item8=*/false, 50, std::nullopt,
+                     false, false, kEde27});
+  }
+
+  // Google: insecure above 100 with EDE 5 (DNSSEC Indeterminate).
+  table.push_back({"google", ResolverProfile::google_public_dns(),
+                   golden_rows(kIns, 100, EdeCode::kDnssecIndeterminate),
+                   /*item6=*/true, /*item8=*/false, 100, std::nullopt, false,
+                   false, EdeCode::kDnssecIndeterminate});
+
+  // Cloudflare: SERVFAIL above 150 with EDE 27 (Item 8).
+  table.push_back({"cloudflare", ResolverProfile::cloudflare(),
+                   golden_rows(kSf, 150, kEde27), /*item6=*/false,
+                   /*item8=*/true, std::nullopt, 150, false, false, kEde27});
+
+  // OpenDNS: SERVFAIL above 150 with EDE 12 (NSEC Missing).
+  table.push_back({"opendns", ResolverProfile::opendns(),
+                   golden_rows(kSf, 150, EdeCode::kNsecMissing),
+                   /*item6=*/false, /*item8=*/true, std::nullopt, 150, false,
+                   false, EdeCode::kNsecMissing});
+
+  // Technitium: SERVFAIL above 100, EDE 27 plus EXTRA-TEXT (checked below).
+  table.push_back({"technitium", ResolverProfile::technitium(),
+                   golden_rows(kSf, 100, kEde27), /*item6=*/false,
+                   /*item8=*/true, std::nullopt, 100, false, false, kEde27});
+
+  // Strict-zero devices: SERVFAIL from it-1 (limit 0), no EDE.
+  table.push_back({"strict_zero", ResolverProfile::strict_zero(),
+                   golden_rows(kSf, 0, std::nullopt), /*item6=*/false,
+                   /*item8=*/true, std::nullopt, 0, false, false,
+                   std::nullopt});
+
+  // Permissive validator: NXDOMAIN+AD across the whole probed grid.
+  table.push_back({"permissive", ResolverProfile::permissive(),
+                   golden_rows(kNone, 0, std::nullopt), /*item6=*/false,
+                   /*item8=*/false, std::nullopt, std::nullopt, false, false,
+                   std::nullopt});
+
+  // Item 7 violator: same sweep as bind9_2021 but downgrades it-2501-expired
+  // to NXDOMAIN instead of SERVFAIL.
+  table.push_back({"item7_violator", ResolverProfile::item7_violator(),
+                   golden_rows(kIns, 150, std::nullopt), /*item6=*/true,
+                   /*item8=*/false, 150, std::nullopt,
+                   /*item7_violation=*/true, false, std::nullopt});
+
+  // Item 12 gap: insecure above 100 but SERVFAIL only above 150 — a window
+  // where the downgrade defeats the (higher) SERVFAIL ceiling.
+  {
+    GoldenProfile gap{"item12_gap", ResolverProfile::item12_gap(),
+                      {}, /*item6=*/true, /*item8=*/true, 100, 150, false,
+                      /*item12_gap=*/true, std::nullopt};
+    for (const std::uint16_t n : kAnchors) {
+      if (n <= 100)
+        gap.rows.push_back({n, Rcode::kNxDomain, true, std::nullopt});
+      else if (n <= 150)
+        gap.rows.push_back({n, Rcode::kNxDomain, false, std::nullopt});
+      else
+        gap.rows.push_back({n, Rcode::kServFail, false, std::nullopt});
+    }
+    table.push_back(std::move(gap));
+  }
+
+  return table;
+}
+
+class ResolverConformanceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    internet_ = new testbed::Internet();
+    probe_specs_ = testbed::add_probe_infrastructure(*internet_);
+    internet_->build();
+  }
+  static void TearDownTestSuite() {
+    delete internet_;
+    probe_specs_.clear();
+  }
+
+  static testbed::Internet* internet_;
+  static std::vector<testbed::ProbeZone> probe_specs_;
+};
+
+testbed::Internet* ResolverConformanceTest::internet_ = nullptr;
+std::vector<testbed::ProbeZone> ResolverConformanceTest::probe_specs_;
+
+TEST_F(ResolverConformanceTest, EveryVendorProfileMatchesGoldenTable) {
+  ResolverProber prober(internet_->network(), IpAddress::v4(203, 0, 113, 77),
+                        probe_specs_);
+
+  std::uint8_t next_host = 1;
+  for (const GoldenProfile& golden : golden_table()) {
+    SCOPED_TRACE(golden.label);
+    const auto resolver = internet_->make_resolver(
+        golden.profile, IpAddress::v4(10, 99, 0, next_host++));
+    const ResolverProbeResult result =
+        prober.probe(resolver->address(), "conf-" + golden.label);
+
+    // Every profile in the table validates: the §4.2 filter must keep it.
+    ASSERT_TRUE(result.responsive);
+    EXPECT_TRUE(result.validator);
+    EXPECT_EQ(result.valid_zone.rcode, Rcode::kNoError);
+    EXPECT_TRUE(result.valid_zone.ad);
+    EXPECT_EQ(result.expired_zone.rcode, Rcode::kServFail);
+
+    for (const GoldenRow& row : golden.rows) {
+      SCOPED_TRACE("it-" + std::to_string(row.iterations));
+      const auto it = result.sweep.find(row.iterations);
+      ASSERT_NE(it, result.sweep.end());
+      const ZoneObservation& seen = it->second;
+      ASSERT_TRUE(seen.responsive);
+      EXPECT_EQ(seen.rcode, row.rcode);
+      EXPECT_EQ(seen.ad, row.ad);
+      EXPECT_EQ(seen.ede, row.ede);
+    }
+
+    EXPECT_EQ(result.implements_item6, golden.item6);
+    EXPECT_EQ(result.implements_item8, golden.item8);
+    EXPECT_EQ(result.insecure_limit, golden.insecure_limit);
+    EXPECT_EQ(result.servfail_limit, golden.servfail_limit);
+    EXPECT_EQ(result.item7_violation, golden.item7_violation);
+    EXPECT_EQ(result.item12_gap, golden.item12_gap);
+    EXPECT_EQ(result.limit_ede, golden.limit_ede);
+  }
+}
+
+TEST_F(ResolverConformanceTest, TechnitiumAttachesExtraText) {
+  ResolverProber prober(internet_->network(), IpAddress::v4(203, 0, 113, 78),
+                        probe_specs_);
+  const auto resolver = internet_->make_resolver(
+      ResolverProfile::technitium(), IpAddress::v4(10, 99, 1, 1));
+  const auto result = prober.probe(resolver->address(), "conf-tech-text");
+  const auto it = result.sweep.find(101);
+  ASSERT_NE(it, result.sweep.end());
+  EXPECT_EQ(it->second.ede, EdeCode::kUnsupportedNsec3Iterations);
+  EXPECT_EQ(it->second.ede_text, "NSEC3 iterations count exceeds limit");
+}
+
+TEST_F(ResolverConformanceTest, NonValidatorIsFilteredOut) {
+  ResolverProber prober(internet_->network(), IpAddress::v4(203, 0, 113, 79),
+                        probe_specs_);
+  const auto resolver = internet_->make_resolver(
+      ResolverProfile::non_validating(), IpAddress::v4(10, 99, 1, 2));
+  const auto result = prober.probe(resolver->address(), "conf-nonval");
+  ASSERT_TRUE(result.responsive);
+  EXPECT_FALSE(result.validator);
+  // The filter rejects before the sweep: no it-N probes are spent on it.
+  EXPECT_TRUE(result.sweep.empty());
+}
+
+}  // namespace
+}  // namespace zh::scanner
