@@ -6,6 +6,11 @@
 //   ZH_RESOLVER_SCALE  resolver-population scale (default 0.01 = 1:100)
 //   ZH_SEED            generator seed (default 42)
 //   ZH_JOBS            worker threads (default 1; also --jobs N / --jobs=N)
+//   ZH_LOSS            query loss probability (also --loss P)
+//   ZH_RETRIES         client wire attempts (also --retries N)
+//   ZH_TIMEOUT_MS      first attempt timeout in ms (also --timeout MS)
+//   ZH_LATENCY_MS      base link RTT in ms (also --latency MS)
+//   ZH_JITTER_MS       uniform RTT jitter in ms (also --jitter MS)
 #pragma once
 
 #include <chrono>
@@ -17,6 +22,8 @@
 
 #include "scanner/campaign.hpp"
 #include "scanner/parallel.hpp"
+#include "simtime/latency.hpp"
+#include "simtime/simtime.hpp"
 #include "testbed/internet.hpp"
 #include "workload/install.hpp"
 #include "workload/resolver_population.hpp"
@@ -33,22 +40,97 @@ inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
   return value ? static_cast<std::uint64_t>(std::atoll(value)) : fallback;
 }
 
-/// Worker-thread count: `--jobs N`, `--jobs=N` or `-jN` on the command
-/// line, else ZH_JOBS, else 1. `--jobs 0` means "all hardware threads".
-inline unsigned parse_jobs(int argc, char** argv) {
+/// Every bench shares one flag vocabulary (parsed by parse_flags below):
+///   --jobs N / --jobs=N / -jN   worker threads (0 = all hardware threads)
+///   --loss P                    per-query drop probability in [0, 1]
+///   --retries N                 client wire attempts (zdns default 3)
+///   --timeout MS                first attempt timeout in milliseconds
+///   --latency MS                base link RTT in milliseconds
+///   --jitter MS                 uniform RTT jitter in milliseconds
+/// Unknown flags are ignored, so benches can add their own on top.
+struct BenchFlags {
+  unsigned jobs = 1;
+  double loss = 0.0;
+  simtime::RetryPolicy retry{};
+  double latency_ms = 0.0;
+  double jitter_ms = 0.0;
+
+  /// True when any flag moves virtual time (loss forces timeout waits).
+  bool time_shaped() const noexcept {
+    return loss > 0.0 || latency_ms > 0.0 || jitter_ms > 0.0;
+  }
+
+  simtime::LatencyModel latency_model(std::uint64_t seed) const {
+    if (latency_ms <= 0.0 && jitter_ms <= 0.0) return {};
+    return simtime::LatencyModel(
+        simtime::Duration::from_us(
+            static_cast<std::int64_t>(latency_ms * 1000.0)),
+        simtime::Duration::from_us(
+            static_cast<std::int64_t>(jitter_ms * 1000.0)),
+        seed);
+  }
+
+  /// Installs the transport flags into a parallel-engine options struct
+  /// (jobs is left to the caller — some benches pin it).
+  void apply(scanner::ParallelOptions& options) const {
+    options.loss_probability = loss;
+    options.retry = retry;
+    options.latency = latency_model(options.base_seed);
+  }
+};
+
+/// Parses the shared flag vocabulary; environment variables (ZH_JOBS,
+/// ZH_LOSS, ZH_RETRIES, ZH_TIMEOUT_MS, ZH_LATENCY_MS, ZH_JITTER_MS) give
+/// the defaults, command-line flags override. `--flag V` and `--flag=V`
+/// both work.
+inline BenchFlags parse_flags(int argc, char** argv) {
+  BenchFlags flags;
   long jobs = static_cast<long>(env_u64("ZH_JOBS", 1));
+  flags.loss = env_double("ZH_LOSS", 0.0);
+  flags.retry.attempts =
+      static_cast<unsigned>(env_u64("ZH_RETRIES", flags.retry.attempts));
+  flags.retry.timeout = simtime::Duration::from_ms(static_cast<std::int64_t>(
+      env_u64("ZH_TIMEOUT_MS",
+              static_cast<std::uint64_t>(flags.retry.timeout.millis()))));
+  flags.latency_ms = env_double("ZH_LATENCY_MS", 0.0);
+  flags.jitter_ms = env_double("ZH_JITTER_MS", 0.0);
+
+  // `--flag V` / `--flag=V`: returns the value string, or nullptr.
+  const auto value_of = [&](int& i, const char* name) -> const char* {
+    const char* arg = argv[i];
+    const std::size_t len = std::strlen(name);
+    if (std::strncmp(arg, name, len) != 0) return nullptr;
+    if (arg[len] == '=') return arg + len + 1;
+    if (arg[len] == '\0' && i + 1 < argc) return argv[++i];
+    return nullptr;
+  };
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
-    if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc) {
-      jobs = std::atol(argv[++i]);
-    } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
-      jobs = std::atol(arg + 7);
+    if (const char* v = value_of(i, "--jobs")) {
+      jobs = std::atol(v);
     } else if (std::strncmp(arg, "-j", 2) == 0 && arg[2] != '\0') {
       jobs = std::atol(arg + 2);
+    } else if (const char* v = value_of(i, "--loss")) {
+      flags.loss = std::atof(v);
+    } else if (const char* v = value_of(i, "--retries")) {
+      flags.retry.attempts = static_cast<unsigned>(std::atol(v));
+    } else if (const char* v = value_of(i, "--timeout")) {
+      flags.retry.timeout = simtime::Duration::from_ms(std::atol(v));
+    } else if (const char* v = value_of(i, "--latency")) {
+      flags.latency_ms = std::atof(v);
+    } else if (const char* v = value_of(i, "--jitter")) {
+      flags.jitter_ms = std::atof(v);
     }
   }
   if (jobs < 0) jobs = 1;
-  return jobs == 0 ? scanner::default_jobs() : static_cast<unsigned>(jobs);
+  flags.jobs =
+      jobs == 0 ? scanner::default_jobs() : static_cast<unsigned>(jobs);
+  return flags;
+}
+
+/// Worker-thread count only (the historical entry point).
+inline unsigned parse_jobs(int argc, char** argv) {
+  return parse_flags(argc, argv).jobs;
 }
 
 /// A fully built world: internet + population spec + probe zones + the

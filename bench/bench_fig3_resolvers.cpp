@@ -37,7 +37,8 @@ void print_panel(const char* title,
 
 int main(int argc, char** argv) {
   using namespace zh;
-  const unsigned jobs = bench::parse_jobs(argc, argv);
+  const bench::BenchFlags flags = bench::parse_flags(argc, argv);
+  const unsigned jobs = flags.jobs;
   const double rscale = bench::env_double("ZH_RESOLVER_SCALE", 0.01);
   // Figure 3 needs the probe infrastructure only — domains are irrelevant;
   // every worker builds its own domain-less world.
@@ -53,11 +54,14 @@ int main(int argc, char** argv) {
 
   for (const auto panel : panels) {
     const auto panel_spec = workload::figure3_panel(panel, rscale);
+    scanner::ParallelOptions options{.jobs = jobs,
+                                     .base_seed = spec.options().seed};
+    flags.apply(options);
     const auto start = std::chrono::steady_clock::now();
     const scanner::ParallelSweepResult sweep =
         scanner::run_resolver_sweep_parallel(
             panel_spec, factory, "f3-" + workload::to_string(panel) + "-",
-            address_base, {.jobs = jobs, .base_seed = spec.options().seed});
+            address_base, options);
     address_base += 1u << 20;
     const scanner::ResolverSweepStats& stats = sweep.stats;
     const double secs = std::chrono::duration<double>(

@@ -1,0 +1,107 @@
+// Latency/timeout sweep: loss probability × NSEC3 iteration count →
+// client-observed virtual latency (p50/p99) and timeout rate.
+//
+// This is the time-shaped view of the paper's story: CVE-2023-50868's hash
+// work reaches clients as *latency* (the service model converts SHA-1
+// blocks into processing delay), and packet loss turns into retransmission
+// waits and, eventually, client-side timeouts (zdns-style RetryPolicy).
+// Each probe is flow-keyed by its unique token, so the whole table is a
+// pure function of the seed and replays bit-identically.
+//
+// Flags (bench_common.hpp): --loss pins a single loss value instead of the
+// default {0, 5, 10, 20} % sweep; --retries / --timeout shape the client
+// policy; --latency / --jitter override the 20 ms ± 5 ms default link.
+#include <cstdio>
+
+#include "analysis/stats.hpp"
+#include "bench_common.hpp"
+#include "simnet/exchange.hpp"
+
+namespace {
+
+constexpr std::size_t kProbesPerCell = 200;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace zh;
+  bench::BenchFlags flags = bench::parse_flags(argc, argv);
+  // This bench is about time: default to a realistic link when the flags
+  // leave it unshaped (20 ms base RTT, 5 ms jitter, 1 µs per SHA-1 block).
+  if (flags.latency_ms <= 0.0 && flags.jitter_ms <= 0.0) {
+    flags.latency_ms = 20.0;
+    flags.jitter_ms = 5.0;
+  }
+  const std::uint64_t seed = bench::env_u64("ZH_SEED", 42);
+
+  // One zone per iteration tier: compliant, the Item-6/8 boundary, the max.
+  const std::uint16_t tiers[] = {1, 150, 500};
+  std::vector<double> losses = {0.0, 0.05, 0.10, 0.20};
+  if (flags.loss > 0.0) losses = {flags.loss};
+  const simnet::IpAddress source = simnet::IpAddress::v4(203, 0, 113, 77);
+
+  std::printf("# %zu probes per cell, retry: %u attempts from %lld ms, "
+              "link %.0f ms ± %.0f ms, service 1 µs/SHA-1 block\n",
+              kProbesPerCell, flags.retry.attempts,
+              static_cast<long long>(flags.retry.timeout.millis()),
+              flags.latency_ms, flags.jitter_ms);
+  std::printf("%6s %8s %12s %12s %10s\n", "loss", "add.it.", "p50 (ms)",
+              "p99 (ms)", "timeouts");
+
+  for (const double loss : losses) {
+    for (const std::uint16_t tier : tiers) {
+      // A fresh world per cell: the resolver's aggressive NSEC3 negative
+      // cache (RFC 8198) otherwise accumulates across cells and later rows
+      // would answer from cache in a single RTT, skewing the comparison.
+      testbed::Internet internet;
+      const auto probe_zones = testbed::add_probe_infrastructure(internet);
+      internet.build();
+      const auto resolver = internet.make_resolver(
+          resolver::ResolverProfile::cloudflare(),
+          simnet::IpAddress::v4(1, 1, 1, 1));
+      simnet::Network& network = internet.network();
+      network.set_latency_model(flags.latency_model(seed));
+      network.set_service_model(
+          {.per_sha1_block = simtime::Duration::from_us(1)});
+      network.set_loss(loss, seed);
+
+      const testbed::ProbeZone* zone = nullptr;
+      for (const auto& candidate : probe_zones) {
+        if (candidate.iterations == tier && !candidate.expired &&
+            !candidate.nsec3_expired) {
+          zone = &candidate;
+          break;
+        }
+      }
+      if (!zone) continue;
+
+      analysis::Ecdf latency_us;
+      std::uint64_t timeouts = 0;
+      std::uint16_t id = 1;
+      // One unrecorded warm-up query per cell so every recorded probe hits
+      // a warm root/TLD/DNSKEY cache (only the NXDOMAIN proof varies).
+      for (std::size_t j = 0; j < kProbesPerCell + 1; ++j) {
+        char token[32];
+        std::snprintf(token, sizeof token, "lt-%03u-%05zu",
+                      zone->iterations, j);
+        network.set_flow(simtime::fnv1a(token));
+        const auto qname =
+            *zone->apex.prepended("nx")->prepended(token);
+        const dns::Message query = dns::Message::make_query(
+            id++, qname, dns::RrType::kA, /*dnssec_ok=*/true);
+        const simnet::ExchangeOutcome outcome = simnet::exchange(
+            network, source, resolver->address(), query, flags.retry);
+        if (j == 0) continue;
+        latency_us.add(outcome.elapsed.micros());
+        if (outcome.timed_out) ++timeouts;
+      }
+      std::printf("%5.0f%% %8u %12.1f %12.1f %9.1f%%\n", 100.0 * loss,
+                  zone->iterations,
+                  static_cast<double>(latency_us.percentile(0.50)) / 1000.0,
+                  static_cast<double>(latency_us.percentile(0.99)) / 1000.0,
+                  100.0 * static_cast<double>(timeouts) /
+                      static_cast<double>(kProbesPerCell));
+    }
+  }
+  return 0;
+}

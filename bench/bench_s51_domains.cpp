@@ -10,14 +10,17 @@
 
 int main(int argc, char** argv) {
   using namespace zh;
-  const unsigned jobs = bench::parse_jobs(argc, argv);
+  const bench::BenchFlags flags = bench::parse_flags(argc, argv);
+  const unsigned jobs = flags.jobs;
   auto world = bench::build_world();
 
+  scanner::ParallelOptions options{
+      .jobs = jobs, .base_seed = bench::env_u64("ZH_SEED", 42)};
+  flags.apply(options);
   const auto start = std::chrono::steady_clock::now();
   const scanner::ParallelCampaignResult campaign =
       scanner::run_domain_campaign_parallel(
-          *world.spec, scanner::default_world_factory(*world.spec),
-          {.jobs = jobs, .base_seed = bench::env_u64("ZH_SEED", 42)});
+          *world.spec, scanner::default_world_factory(*world.spec), options);
   const double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

@@ -8,7 +8,8 @@
 
 int main(int argc, char** argv) {
   using namespace zh;
-  const unsigned jobs = bench::parse_jobs(argc, argv);
+  const bench::BenchFlags flags = bench::parse_flags(argc, argv);
+  const unsigned jobs = flags.jobs;
   const double rscale = bench::env_double("ZH_RESOLVER_SCALE", 0.01);
   // Probe infrastructure only; each worker thread builds its own world.
   const workload::EcosystemSpec spec(
@@ -24,11 +25,14 @@ int main(int argc, char** argv) {
       workload::Panel::kClosedV4, workload::Panel::kClosedV6};
   for (int p = 0; p < 4; ++p) {
     const auto panel_spec = workload::figure3_panel(panels[p], rscale);
+    scanner::ParallelOptions options{.jobs = jobs,
+                                     .base_seed = spec.options().seed};
+    flags.apply(options);
     const scanner::ParallelSweepResult sweep =
         scanner::run_resolver_sweep_parallel(
             panel_spec, factory,
             "s52-" + workload::to_string(panels[p]) + "-", address_base,
-            {.jobs = jobs, .base_seed = spec.options().seed});
+            options);
     address_base += 1u << 20;
     all.merge(sweep.stats);
     validators_by_panel[p] = sweep.stats.validators;

@@ -49,6 +49,8 @@ std::string to_string(EdeCode code) {
     case EdeCode::kSignatureExpired: return "Signature Expired";
     case EdeCode::kDnssecIndeterminate: return "DNSSEC Indeterminate";
     case EdeCode::kNsecMissing: return "NSEC Missing";
+    case EdeCode::kNoReachableAuthority: return "No Reachable Authority";
+    case EdeCode::kNetworkError: return "Network Error";
     case EdeCode::kUnsupportedNsec3Iterations:
       return "Unsupported NSEC3 Iterations Value";
   }

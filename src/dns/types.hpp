@@ -56,6 +56,8 @@ enum class EdeCode : std::uint16_t {
   kSignatureExpired = 7,
   kDnssecIndeterminate = 5,   // returned by Google Public DNS in the paper
   kNsecMissing = 12,          // returned by Cisco OpenDNS in the paper
+  kNoReachableAuthority = 22,  // resolver hit its own query deadline
+  kNetworkError = 23,          // upstream exchange lost every transmission
   kUnsupportedNsec3Iterations = 27,  // the RFC 9276 Item 10 code
 };
 

@@ -12,8 +12,14 @@ ResolverProfile software(std::string name, std::uint16_t insecure_limit,
   // returned bare insecure responses — matching the paper's finding that
   // under 18 % of limited responses carry INFO-CODE 27.
   profile.policy.emit_ede27 = emit_ede27;
+  // Self-hosted software defaults to a generous resolution budget
+  // (BIND's resolver-query-timeout ballpark).
+  profile.query_deadline = simtime::Duration::from_seconds(10);
   return profile;
 }
+
+/// Anycast services answer fast or not at all — a tight budget.
+simtime::Duration public_deadline() { return simtime::Duration::from_seconds(4); }
 
 }  // namespace
 
@@ -45,6 +51,7 @@ ResolverProfile ResolverProfile::google_public_dns() {
   profile.policy.insecure_limit = 100;
   profile.policy.emit_ede27 = false;
   profile.policy.ede_override = dns::EdeCode::kDnssecIndeterminate;
+  profile.query_deadline = public_deadline();
   return profile;
 }
 
@@ -53,6 +60,7 @@ ResolverProfile ResolverProfile::cloudflare() {
   profile.name = "cloudflare-1.1.1.1";
   profile.policy.servfail_limit = 150;
   profile.policy.emit_ede27 = true;
+  profile.query_deadline = public_deadline();
   return profile;
 }
 
@@ -61,6 +69,7 @@ ResolverProfile ResolverProfile::quad9() {
   profile.name = "quad9";
   profile.policy.insecure_limit = 150;
   profile.policy.emit_ede27 = false;
+  profile.query_deadline = public_deadline();
   return profile;
 }
 
@@ -70,6 +79,7 @@ ResolverProfile ResolverProfile::opendns() {
   profile.policy.servfail_limit = 150;
   profile.policy.emit_ede27 = false;
   profile.policy.ede_override = dns::EdeCode::kNsecMissing;
+  profile.query_deadline = public_deadline();
   return profile;
 }
 
@@ -79,6 +89,7 @@ ResolverProfile ResolverProfile::technitium() {
   profile.policy.servfail_limit = 100;
   profile.policy.emit_ede27 = true;
   profile.policy.ede_extra_text = "NSEC3 iterations count exceeds limit";
+  profile.query_deadline = public_deadline();
   return profile;
 }
 
@@ -116,6 +127,17 @@ ResolverProfile ResolverProfile::non_validating() {
   ResolverProfile profile;
   profile.name = "non-validating";
   profile.validating = false;
+  return profile;
+}
+
+ResolverProfile ResolverProfile::limit_dropper() {
+  ResolverProfile profile;
+  profile.name = "limit-dropper";
+  profile.policy.servfail_limit = 150;
+  // The §5.2 "stop answering" cohort: over-limit queries are dropped,
+  // so the prober sees a timeout instead of SERVFAIL.
+  profile.drop_on_limit = true;
+  profile.query_deadline = public_deadline();
   return profile;
 }
 

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "dns/types.hpp"
+#include "simtime/simtime.hpp"
 
 namespace zh::resolver {
 
@@ -77,6 +78,24 @@ struct ResolverProfile {
   /// being asserted (observed on the 418 strict-zero resolvers, §5.2).
   bool ra_copies_rd = false;
 
+  /// Retransmission behaviour for the resolver's own upstream queries.
+  /// Only matters once the network injects loss; defaults match zdns.
+  simtime::RetryPolicy upstream_retry{};
+
+  /// Wall-clock (virtual) budget per client query: once the projected
+  /// time — elapsed plus the service cost of hash work already done —
+  /// exceeds it, resolution aborts. Inert while no time model is active,
+  /// since the clock then never moves.
+  std::optional<simtime::Duration> query_deadline;
+
+  /// Timeout-vs-SERVFAIL vendor split (§5.2 "stop answering"): when set,
+  /// an exceeded servfail_limit makes the resolver *drop* the query
+  /// instead of answering SERVFAIL — clients observe a timeout.
+  bool drop_on_limit = false;
+
+  /// Same split for deadline expiry: drop instead of SERVFAIL.
+  bool drop_on_timeout = false;
+
   // --- software profiles (changelog-documented) ---
   static ResolverProfile bind9_2021();      // insecure > 150
   static ResolverProfile bind9_2023();      // insecure > 50 (CVE patch)
@@ -99,6 +118,7 @@ struct ResolverProfile {
   static ResolverProfile item7_violator();  // skips Item 7 verification
   static ResolverProfile item12_gap();      // insecure > 100, SERVFAIL > 150
   static ResolverProfile non_validating();  // plain recursive, no DNSSEC
+  static ResolverProfile limit_dropper();   // drops (times out) above 150
 };
 
 }  // namespace zh::resolver

@@ -4,6 +4,7 @@
 
 #include "crypto/cost_meter.hpp"
 #include "crypto/signing.hpp"
+#include "simnet/exchange.hpp"
 
 namespace zh::resolver {
 namespace {
@@ -75,8 +76,15 @@ RecursiveResolver::RecursiveResolver(simnet::Network& network, Config config,
 void RecursiveResolver::attach() {
   network_.attach(config_.address,
                   [this](const Message& query, const simnet::IpAddress& src) {
-                    return std::optional<Message>(handle(query, src));
+                    return handle_or_drop(query, src);
                   });
+}
+
+std::optional<Message> RecursiveResolver::handle_or_drop(
+    const Message& query, const simnet::IpAddress& source) {
+  Message response = handle(query, source);
+  if (last_query_dropped_) return std::nullopt;
+  return response;
 }
 
 void RecursiveResolver::flush_cache() {
@@ -96,6 +104,10 @@ Message RecursiveResolver::handle(const Message& query,
   const std::uint64_t sha1_before = crypto::CostMeter::sha1_blocks();
   const std::uint64_t nsec3_before = crypto::CostMeter::nsec3_hashes();
   const std::uint64_t served_before = network_.receiver_sha1_blocks();
+  query_start_ = network_.clock().now();
+  own_sha1_start_ = sha1_before;
+  served_sha1_start_ = served_before;
+  last_query_dropped_ = false;
 
   Message response = Message::make_response(query);
   if (query.questions.empty()) {
@@ -126,12 +138,15 @@ Message RecursiveResolver::handle(const Message& query,
   if (!from_cache) {
     out = config_.forward ? forward_query(q.name, q.type)
                           : resolve_internal(q.name, q.type, 0);
-    if (config_.enable_cache) {
+    // Transient (transport-caused) failures stay out of the cache: caching
+    // them would turn one lost packet into a permanently broken name.
+    if (config_.enable_cache && !out.transient) {
       if (answer_cache_.size() >= config_.cache_capacity)
         answer_cache_.clear();
       answer_cache_.emplace(cache_key, out);
     }
   }
+  last_query_dropped_ = out.drop;
 
   if (out.rcode == Rcode::kServFail) ++stats_.servfails;
   switch (out.security) {
@@ -202,19 +217,64 @@ RecursiveResolver::Outcome RecursiveResolver::make_servfail(
   return out;
 }
 
+RecursiveResolver::Outcome RecursiveResolver::make_deadline_servfail() const {
+  // RFC 8914 EDE 22 is the deadline code; like every transport-caused
+  // SERVFAIL it stays out of the answer cache, and the EDE lets clients
+  // (scanner/prober) recognise it as retryable rather than a policy limit.
+  Outcome out = make_servfail(dns::EdeCode::kNoReachableAuthority,
+                              "query deadline exceeded");
+  out.transient = true;
+  out.drop = config_.profile.drop_on_timeout;
+  return out;
+}
+
+RecursiveResolver::Outcome RecursiveResolver::make_transient_servfail(
+    std::optional<dns::EdeCode> ede, std::string text) const {
+  // Upstream retransmission exhausted: mark with RFC 8914 Network Error so
+  // the failure is distinguishable from a deterministic validation
+  // SERVFAIL; callers that did not time out keep their own EDE.
+  Outcome out = upstream_timeout_
+                    ? make_servfail(dns::EdeCode::kNetworkError,
+                                    "upstream queries timed out")
+                    : make_servfail(ede, std::move(text));
+  out.transient = upstream_timeout_;
+  return out;
+}
+
+bool RecursiveResolver::deadline_exceeded() const {
+  const auto& deadline = config_.profile.query_deadline;
+  if (!deadline || !network_.time_models_active()) return false;
+  const simtime::Duration elapsed = network_.clock().now() - query_start_;
+  // Hash work this resolver did itself has not yet been converted to
+  // service delay (that happens in the owning Network::deliver frame when
+  // handle() returns) — project it so the deadline sees the true cost.
+  const std::uint64_t total =
+      crypto::CostMeter::sha1_blocks() - own_sha1_start_;
+  const std::uint64_t served =
+      network_.receiver_sha1_blocks() - served_sha1_start_;
+  const std::uint64_t own = total > served ? total - served : 0;
+  return elapsed + network_.service_model().cost(own) > *deadline;
+}
+
 RecursiveResolver::Outcome RecursiveResolver::forward_query(const Name& qname,
                                                             RrType qtype) {
   Message query = Message::make_query(next_id_++, qname, qtype,
                                       /*dnssec_ok=*/true);
-  ++stats_.upstream_queries;
-  auto response =
-      network_.send(config_.address, config_.forward_target, query);
-  if (response && response->header.tc) {
-    ++stats_.tcp_retries;
-    response = network_.send_tcp(config_.address, config_.forward_target,
-                                 query);
+  const simnet::ExchangeOutcome ex =
+      simnet::exchange(network_, config_.address, config_.forward_target,
+                       query, config_.profile.upstream_retry);
+  stats_.upstream_queries += ex.attempts - (ex.tcp_fallback ? 1 : 0);
+  if (ex.tcp_fallback) ++stats_.tcp_retries;
+  if (ex.timed_out) ++stats_.upstream_timeouts;
+  if (!ex.response) {
+    Outcome out = ex.timed_out
+                      ? make_servfail(dns::EdeCode::kNetworkError,
+                                      "upstream queries timed out")
+                      : make_servfail();
+    out.transient = ex.timed_out;
+    return out;
   }
-  if (!response) return make_servfail();
+  const std::optional<Message>& response = ex.response;
 
   Outcome out;
   out.rcode = response->header.rcode;
@@ -235,20 +295,26 @@ RecursiveResolver::Outcome RecursiveResolver::forward_query(const Name& qname,
 std::optional<Message> RecursiveResolver::query_servers(
     const std::vector<simnet::IpAddress>& servers, const Name& qname,
     RrType qtype) {
+  upstream_timeout_ = false;
   for (const auto& server : servers) {
     Message query = Message::make_query(next_id_++, qname, qtype,
                                         /*dnssec_ok=*/true,
                                         /*recursion_desired=*/false);
-    ++stats_.upstream_queries;
-    auto response = network_.send(config_.address, server, query);
-    if (!response) continue;
-    if (response->header.tc) {
-      // Truncated: retry over TCP (RFC 7766) — large NSEC3 proofs and
-      // DNSKEY RRsets routinely exceed UDP budgets.
-      ++stats_.tcp_retries;
-      response = network_.send_tcp(config_.address, server, query);
-      if (!response) continue;
+    // zdns-style retransmission with UDP→TCP fallback on truncation (RFC
+    // 7766) — large NSEC3 proofs and DNSKEY RRsets routinely exceed UDP
+    // budgets.
+    const simnet::ExchangeOutcome ex = simnet::exchange(
+        network_, config_.address, server, query,
+        config_.profile.upstream_retry);
+    stats_.upstream_queries += ex.attempts - (ex.tcp_fallback ? 1 : 0);
+    if (ex.tcp_fallback) ++stats_.tcp_retries;
+    if (ex.timed_out) {
+      ++stats_.upstream_timeouts;
+      upstream_timeout_ = true;
+      continue;
     }
+    if (!ex.response) continue;  // unreachable — try the next server
+    const std::optional<Message>& response = ex.response;
     // Anti-spoofing hygiene (RFC 5452): the response must echo our
     // transaction ID and question, or it is discarded.
     if (response->header.id != query.header.id) continue;
@@ -394,16 +460,18 @@ RecursiveResolver::Outcome RecursiveResolver::resolve_internal(
         validation_active() ? Security::kSecure : Security::kInsecure;
     if (validation_active()) {
       if (!config_.trust_anchor) return make_servfail();
-      if (!install_validated_keys(ctx, {config_.trust_anchor->root_ds}))
-        return make_servfail(dns::EdeCode::kDnssecBogus,
-                             "cannot validate root DNSKEY");
+      if (!install_validated_keys(ctx, {config_.trust_anchor->root_ds})) {
+        return make_transient_servfail(dns::EdeCode::kDnssecBogus,
+                                       "cannot validate root DNSKEY");
+      }
     }
     zone_cache_.emplace(ctx.apex, ctx);
   }
 
   for (std::size_t step = 0; step < config_.max_depth; ++step) {
+    if (deadline_exceeded()) return make_deadline_servfail();
     const auto response = query_servers(ctx.servers, qname, qtype);
-    if (!response) return make_servfail();
+    if (!response) return make_transient_servfail();
     if (response->header.rcode != Rcode::kNoError &&
         response->header.rcode != Rcode::kNxDomain)
       return make_servfail();
@@ -445,15 +513,25 @@ RecursiveResolver::Outcome RecursiveResolver::resolve_internal(
         }
         if (next.servers.empty()) {
           // Glueless delegation: resolve the NS names out of band.
+          bool transient_sub = false;
           for (const auto& target : ns_targets) {
             if (next.servers.size() >= 3) break;
             const Outcome sub = resolve_internal(target, RrType::kA,
                                                  depth + 1);
+            transient_sub = transient_sub || sub.transient;
             for (const auto& rr : sub.answers) {
               if (rr.type == RrType::kA && rr.rdata.size() == 4)
                 next.servers.push_back(
                     simnet::IpAddress::from_bytes(false, rr.rdata.data()));
             }
+          }
+          if (next.servers.empty()) {
+            Outcome out =
+                transient_sub ? make_servfail(dns::EdeCode::kNetworkError,
+                                              "NS address resolution timed out")
+                              : make_servfail();
+            out.transient = transient_sub;
+            return out;
           }
         }
         if (next.servers.empty()) return make_servfail();
@@ -489,8 +567,8 @@ RecursiveResolver::Outcome RecursiveResolver::resolve_internal(
             if (!any_supported) {
               next.security = Security::kInsecure;
             } else if (!install_validated_keys(next, ds_set)) {
-              return make_servfail(dns::EdeCode::kDnssecBogus,
-                                   "child DNSKEY validation failed");
+              return make_transient_servfail(
+                  dns::EdeCode::kDnssecBogus, "child DNSKEY validation failed");
             }
           } else {
             // Insecure delegation: the absence of DS must be proven.
@@ -570,6 +648,9 @@ RecursiveResolver::Outcome RecursiveResolver::resolve_internal(
         }
       }
     }
+    // Validation was the expensive part — re-check the budget before the
+    // answer leaves, so over-deadline work yields a timeout, not an answer.
+    if (deadline_exceeded()) return make_deadline_servfail();
     return out;
   }
   return make_servfail();
@@ -675,8 +756,10 @@ RecursiveResolver::apply_iteration_policy(const Message& response,
   };
 
   if (policy.exceeds_servfail(iterations)) {
-    // Item 8: refuse outright.
+    // Item 8: refuse outright — or, for the §5.2 "stop answering" cohort,
+    // drop the query so the client observes a timeout.
     Outcome out = make_servfail();
+    out.drop = config_.profile.drop_on_limit;
     attach_ede(out);
     return out;
   }

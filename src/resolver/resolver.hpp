@@ -43,6 +43,7 @@ struct ResolverStats {
   std::uint64_t queries_handled = 0;
   std::uint64_t upstream_queries = 0;
   std::uint64_t tcp_retries = 0;  // truncated UDP answers refetched over TCP
+  std::uint64_t upstream_timeouts = 0;  // exchanges that exhausted all retries
   std::uint64_t cache_hits = 0;
   std::uint64_t servfails = 0;
   std::uint64_t validations_secure = 0;
@@ -88,6 +89,12 @@ class RecursiveResolver {
   dns::Message handle(const dns::Message& query,
                       const simnet::IpAddress& source);
 
+  /// handle(), except profile-mandated drops (drop_on_limit /
+  /// drop_on_timeout) come back as nullopt — the client sees a timeout
+  /// instead of an answer. This is what attach() registers.
+  std::optional<dns::Message> handle_or_drop(const dns::Message& query,
+                                             const simnet::IpAddress& source);
+
   /// Client-style convenience: build a query, handle it, return the reply.
   dns::Message resolve(const dns::Name& qname, dns::RrType qtype,
                        bool dnssec_ok = true);
@@ -111,6 +118,11 @@ class RecursiveResolver {
     std::vector<dns::ResourceRecord> authorities;
     std::optional<dns::EdeCode> ede;
     std::string ede_text;
+    /// Transport-caused failure (upstream timeout, deadline expiry): must
+    /// not enter the answer cache — a retry may well succeed.
+    bool transient = false;
+    /// Profile says to drop this response instead of sending it.
+    bool drop = false;
   };
 
   Outcome resolve_internal(const dns::Name& qname, dns::RrType qtype,
@@ -166,6 +178,22 @@ class RecursiveResolver {
   Outcome make_servfail(std::optional<dns::EdeCode> ede = std::nullopt,
                         std::string text = {}) const;
 
+  /// Transient SERVFAIL for an expired query deadline (dropped instead when
+  /// the profile says so).
+  Outcome make_deadline_servfail() const;
+
+  /// SERVFAIL after an upstream exchange chain: transient with an RFC 8914
+  /// Network Error marker when the cause was upstream timeouts, otherwise
+  /// the caller-supplied (deterministic) EDE.
+  Outcome make_transient_servfail(
+      std::optional<dns::EdeCode> ede = std::nullopt,
+      std::string text = {}) const;
+
+  /// True once the in-flight query's virtual-time budget is spent. Projects
+  /// forward: elapsed clock time plus the service cost of own hash work not
+  /// yet converted to delay by the owning Network::deliver frame.
+  bool deadline_exceeded() const;
+
   dns::Message shape_response(const dns::Message& query, const Outcome& out);
 
   /// True when DNSSEC validation applies to the in-flight query (profile
@@ -180,6 +208,14 @@ class RecursiveResolver {
   ResolverStats stats_;
   std::uint16_t next_id_ = 1;
   bool cd_active_ = false;  // RFC 4035 §3.2.2 checking-disabled handling
+  // Set by query_servers when its failure was a retry-exhausting timeout
+  // (as opposed to an unreachable or misbehaving server).
+  bool upstream_timeout_ = false;
+  bool last_query_dropped_ = false;
+  // Deadline accounting for the in-flight client query (set by handle()).
+  simtime::Duration query_start_;
+  std::uint64_t own_sha1_start_ = 0;
+  std::uint64_t served_sha1_start_ = 0;
 
   // Infrastructure cache: apex → validated zone context.
   std::unordered_map<dns::Name, ZoneContext, dns::NameHash> zone_cache_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "simnet/exchange.hpp"
+
 namespace zh::scanner {
 namespace {
 
@@ -32,17 +34,52 @@ std::string exclusive_operator(const std::vector<dns::Name>& ns_names) {
 DomainCampaign::DomainCampaign(testbed::Internet& internet,
                                const workload::EcosystemSpec& spec,
                                simnet::IpAddress scan_resolver,
-                               simnet::IpAddress source)
+                               simnet::IpAddress source,
+                               simtime::RetryPolicy retry)
     : internet_(internet),
       spec_(spec),
-      scanner_(internet.network(), source, scan_resolver) {}
+      scan_resolver_(scan_resolver),
+      source_(source),
+      retry_(retry),
+      scanner_(internet.network(), source, scan_resolver, retry) {}
 
 void DomainCampaign::run(std::size_t limit, std::size_t stride) {
   run_shard(0, 1, limit, stride);
 }
 
+void DomainCampaign::warm_tld_caches() {
+  if (warmed_) return;
+  warmed_ = true;
+  simnet::Network& network = internet_.network();
+  if (!network.time_models_active()) return;
+  std::uint16_t id = 60000;
+  for (const auto& tld : spec_.tlds()) {
+    network.set_flow(simtime::fnv1a("warm." + tld.label));
+    dns::Message query = dns::Message::make_query(
+        id++, dns::Name::must_parse(tld.label), dns::RrType::kDnskey,
+        /*dnssec_ok=*/true);
+    query.header.cd = true;  // same cache partition the scanner uses
+    (void)simnet::exchange(network, source_, scan_resolver_, query, retry_);
+  }
+  // Operator NS hosts too: customer delegations are glueless (the NS names
+  // live under <operator>.net, out of bailiwick for the customer's TLD), so
+  // the first same-operator domain a resolver sees pays a one-time
+  // out-of-band NS address resolution that later domains reuse from the
+  // zone cache. Which domain is "first" depends on the sharding — warming
+  // the chain here makes every scan a warm-path scan instead.
+  for (const auto& op : spec_.operators()) {
+    network.set_flow(simtime::fnv1a("warm.op." + op.name));
+    dns::Message query = dns::Message::make_query(
+        id++, *dns::Name::must_parse(op.name + ".net").prepended("ns1"),
+        dns::RrType::kA, /*dnssec_ok=*/true);
+    query.header.cd = true;
+    (void)simnet::exchange(network, source_, scan_resolver_, query, retry_);
+  }
+}
+
 void DomainCampaign::run_shard(std::size_t shard, std::size_t shards,
                                std::size_t limit, std::size_t stride) {
+  warm_tld_caches();
   const std::size_t count = std::min(limit, spec_.domain_count());
   for (std::size_t position = shard;; position += shards) {
     const std::size_t index = position * stride;
@@ -51,6 +88,8 @@ void DomainCampaign::run_shard(std::size_t shard, std::size_t shards,
     const DomainScanResult result = scanner_.scan(profile.apex);
 
     ++stats_.scanned;
+    stats_.scan_latency_us.add(result.elapsed.micros());
+    stats_.timeouts += result.timeouts;
     CompactDomainRecord record;
     record.index = static_cast<std::uint32_t>(index);
     record.classification = result.classification;
@@ -112,6 +151,8 @@ void DomainCampaignStats::merge(const DomainCampaignStats& other) {
   operators.merge(other.operators);
   for (const auto& [op, params] : other.operator_params)
     operator_params[op].merge(params);
+  scan_latency_us.merge(other.scan_latency_us);
+  timeouts += other.timeouts;
 }
 
 const CompactDomainRecord* DomainCampaign::record_for(
@@ -149,13 +190,18 @@ TldCensusStats scan_tlds(testbed::Internet& internet,
 
 void ResolverSweepStats::add(const ResolverProbeResult& result) {
   ++probed;
+  probe_latency_us.add(result.elapsed.micros());
+  timeouts += result.timeouts;
   if (!result.validator) return;
   ++validators;
+  if (result.first_timeout) ++stop_answering;
 
   for (const auto& [iterations, observation] : result.sweep) {
     RcodeShares& shares = by_iteration[iterations];
     ++shares.total;
-    if (observation.rcode == dns::Rcode::kNxDomain) {
+    if (!observation.responsive) {
+      if (observation.timed_out) ++shares.timeouts;
+    } else if (observation.rcode == dns::Rcode::kNxDomain) {
       ++shares.nxdomain;
       if (observation.ad) ++shares.nxdomain_ad;
     } else if (observation.rcode == dns::Rcode::kServFail) {
@@ -187,6 +233,7 @@ void ResolverSweepStats::merge(const ResolverSweepStats& other) {
     mine.nxdomain += shares.nxdomain;
     mine.nxdomain_ad += shares.nxdomain_ad;
     mine.servfail += shares.servfail;
+    mine.timeouts += shares.timeouts;
     mine.total += shares.total;
   }
   item6 += other.item6;
@@ -198,6 +245,9 @@ void ResolverSweepStats::merge(const ResolverSweepStats& other) {
     insecure_limits[limit] += count;
   for (const auto& [limit, count] : other.servfail_limits)
     servfail_limits[limit] += count;
+  probe_latency_us.merge(other.probe_latency_us);
+  timeouts += other.timeouts;
+  stop_answering += other.stop_answering;
 }
 
 }  // namespace zh::scanner

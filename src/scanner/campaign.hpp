@@ -51,6 +51,12 @@ struct DomainCampaignStats {
   /// Parameter mixes per operator ("iterations/salt-bytes" keys).
   std::map<std::string, analysis::FreqTable> operator_params;
 
+  /// Virtual-time latency of whole-domain scans, in microseconds (all
+  /// zeros unless the network runs a latency/service model).
+  analysis::Ecdf scan_latency_us;
+  /// Scanner queries that exhausted every retransmission.
+  std::uint64_t timeouts = 0;
+
   /// Folds another shard's aggregates in. Commutative and associative, so
   /// per-shard stats merged in any order equal the unsharded campaign.
   void merge(const DomainCampaignStats& other);
@@ -66,7 +72,8 @@ class DomainCampaign {
                  const workload::EcosystemSpec& spec,
                  simnet::IpAddress scan_resolver,
                  simnet::IpAddress source = simnet::IpAddress::v4(203, 0, 113,
-                                                                  250));
+                                                                  250),
+                 simtime::RetryPolicy retry = {});
 
   /// Scans domain indexes [0, limit) (stride for cheap smoke runs).
   void run(std::size_t limit = static_cast<std::size_t>(-1),
@@ -92,12 +99,24 @@ class DomainCampaign {
   }
 
  private:
+  /// With a time model active, resolves every census TLD's DNSKEY and every
+  /// hosting operator's NS-host address once, so the scan resolver's
+  /// root/TLD/operator caches are warm before the first scan. Shards then
+  /// all start from the same resolver state, which keeps per-scan
+  /// virtual-time latencies identical for any worker count. A no-op (and no
+  /// queries) when time never moves.
+  void warm_tld_caches();
+
   testbed::Internet& internet_;
   const workload::EcosystemSpec& spec_;
+  simnet::IpAddress scan_resolver_;
+  simnet::IpAddress source_;
+  simtime::RetryPolicy retry_;
   DomainScanner scanner_;
   DomainCampaignStats stats_;
   std::vector<CompactDomainRecord> records_;
   std::map<std::uint32_t, std::size_t> by_index_;
+  bool warmed_ = false;
 };
 
 /// §5.1 TLD census result.
@@ -128,6 +147,9 @@ struct ResolverSweepStats {
     std::uint64_t nxdomain = 0;
     std::uint64_t nxdomain_ad = 0;  // subset of nxdomain
     std::uint64_t servfail = 0;
+    /// Probes at this iteration count that timed out (no RCODE at all —
+    /// the "stop answering" behaviour).
+    std::uint64_t timeouts = 0;
     std::uint64_t total = 0;
   };
   /// Figure 3 series: per probed iteration count.
@@ -140,6 +162,14 @@ struct ResolverSweepStats {
   std::uint64_t ede_on_limit = 0;
   std::map<std::uint16_t, std::uint64_t> insecure_limits;  // limit → count
   std::map<std::uint16_t, std::uint64_t> servfail_limits;
+
+  /// Virtual-time latency of whole resolver probes, in microseconds.
+  analysis::Ecdf probe_latency_us;
+  /// Probe queries that exhausted every retransmission.
+  std::uint64_t timeouts = 0;
+  /// Validators that answered below some it-N but stopped answering
+  /// (timed out) above it — the paper's drop-above-limit cohort.
+  std::uint64_t stop_answering = 0;
 
   void add(const ResolverProbeResult& result);
 

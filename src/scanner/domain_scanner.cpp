@@ -1,5 +1,10 @@
 #include "scanner/domain_scanner.hpp"
 
+#include <algorithm>
+#include <cstdio>
+
+#include "simnet/exchange.hpp"
+
 namespace zh::scanner {
 namespace {
 
@@ -11,24 +16,56 @@ using dns::RrType;
 
 DomainScanner::DomainScanner(simnet::Network& network,
                              simnet::IpAddress source,
-                             simnet::IpAddress resolver)
-    : network_(network), source_(source), resolver_(resolver) {}
+                             simnet::IpAddress resolver,
+                             simtime::RetryPolicy retry)
+    : network_(network),
+      source_(source),
+      resolver_(resolver),
+      retry_(retry) {}
 
 std::optional<Message> DomainScanner::query(const Name& qname, RrType type) {
-  Message q = Message::make_query(next_id_++, qname, type,
-                                  /*dnssec_ok=*/true);
-  q.header.cd = true;  // measurement queries bypass upstream validation
-  ++queries_;
-  return network_.send(source_, resolver_, q);
+  // A transient SERVFAIL (upstream loss or resolver deadline, marked with
+  // RFC 8914 EDE 22/23) is a transport fate, not a property of the domain:
+  // re-ask up to the retry budget so moderate loss cannot flip a
+  // classification. Deterministic SERVFAILs pass through on the first try.
+  const unsigned rounds = std::max(1u, retry_.attempts);
+  simnet::ExchangeOutcome ex;
+  for (unsigned round = 0; round < rounds; ++round) {
+    Message q = Message::make_query(next_id_++, qname, type,
+                                    /*dnssec_ok=*/true);
+    q.header.cd = true;  // measurement queries bypass upstream validation
+    ex = simnet::exchange(network_, source_, resolver_, q, retry_);
+    queries_ += ex.attempts;
+    if (!ex.response || !simnet::transient_servfail(*ex.response)) break;
+  }
+  last_timed_out_ = ex.timed_out;
+  if (ex.timed_out) ++scan_timeouts_;
+  return ex.response;
 }
 
 DomainScanResult DomainScanner::scan(const Name& apex) {
+  // Flow-key the scan on the apex, so this domain's loss/jitter draws do
+  // not depend on how many queries earlier scans issued — the property
+  // that keeps sharded campaigns identical for any worker count.
+  network_.set_flow(simtime::fnv1a(apex.canonical().to_string()));
+  scan_timeouts_ = 0;
+  const simtime::Duration start = network_.clock().now();
+  DomainScanResult result = scan_impl(apex);
+  result.elapsed = network_.clock().now() - start;
+  result.timeouts = scan_timeouts_;
+  return result;
+}
+
+DomainScanResult DomainScanner::scan_impl(const Name& apex) {
   DomainScanResult result;
   result.apex = apex;
 
   // 1. DNSKEY.
   const auto dnskey_response = query(apex, RrType::kDnskey);
-  if (!dnskey_response) return result;  // kUnresponsive
+  if (!dnskey_response) {
+    result.timed_out = last_timed_out_;
+    return result;  // kUnresponsive
+  }
   result.dnskey =
       !dnskey_response->answers_of_type(RrType::kDnskey).empty();
   if (!result.dnskey) {
@@ -53,8 +90,13 @@ DomainScanResult DomainScanner::scan(const Name& apex) {
 
   // 3. Negative probe: a random subdomain triggers either an NXDOMAIN or a
   //    wildcard expansion — both carry NSEC3 records when the zone has them.
-  const Name probe_name = *apex.prepended(
-      "zz-scan-" + std::to_string(probe_token_++));
+  //    Fixed-width token: NSEC3 hashing cost depends on the name's length,
+  //    so a padded counter keeps per-scan service time independent of how
+  //    many scans ran before (another worker-count invariance requirement).
+  char token[24];
+  std::snprintf(token, sizeof token, "zz-scan-%08llu",
+                static_cast<unsigned long long>(probe_token_++));
+  const Name probe_name = *apex.prepended(token);
   const auto negative = query(probe_name, RrType::kA);
   if (negative) {
     Nsec3Observation observation;

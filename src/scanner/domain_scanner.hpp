@@ -17,6 +17,7 @@
 
 #include "dns/message.hpp"
 #include "simnet/network.hpp"
+#include "simtime/simtime.hpp"
 
 namespace zh::scanner {
 
@@ -49,6 +50,14 @@ struct DomainScanResult {
   std::optional<Nsec3Observation> nsec3;
   bool nsec_seen = false;
 
+  /// Virtual time the whole scan consumed (zero when no time model runs).
+  simtime::Duration elapsed;
+  /// Queries within this scan that exhausted every retransmission.
+  unsigned timeouts = 0;
+  /// kUnresponsive because the initial probe *timed out* (lost packets),
+  /// as opposed to an unreachable or non-answering destination.
+  bool timed_out = false;
+
   /// RFC 9276 Item 2 (zero additional iterations).
   bool iterations_compliant() const {
     return nsec3 && nsec3->iterations == 0;
@@ -64,9 +73,10 @@ struct DomainScanResult {
 class DomainScanner {
  public:
   /// `resolver` is the recursive resolver the scan rides on; `source` is
-  /// the scanner's own address.
+  /// the scanner's own address. `retry` governs retransmission of lost
+  /// queries (zdns defaults).
   DomainScanner(simnet::Network& network, simnet::IpAddress source,
-                simnet::IpAddress resolver);
+                simnet::IpAddress resolver, simtime::RetryPolicy retry = {});
 
   /// Runs the full §4.1 sequence against one domain.
   DomainScanResult scan(const dns::Name& apex);
@@ -74,14 +84,18 @@ class DomainScanner {
   std::uint64_t queries_issued() const noexcept { return queries_; }
 
  private:
+  DomainScanResult scan_impl(const dns::Name& apex);
   std::optional<dns::Message> query(const dns::Name& qname, dns::RrType type);
 
   simnet::Network& network_;
   simnet::IpAddress source_;
   simnet::IpAddress resolver_;
+  simtime::RetryPolicy retry_;
   std::uint16_t next_id_ = 1;
   std::uint64_t probe_token_ = 0;
   std::uint64_t queries_ = 0;
+  unsigned scan_timeouts_ = 0;   // timeouts within the scan in flight
+  bool last_timed_out_ = false;  // the most recent query()'s fate
 };
 
 }  // namespace zh::scanner

@@ -114,13 +114,18 @@ ParallelCampaignResult run_domain_campaign_parallel(
   run_sharded(jobs, [&](unsigned shard) {
     ShardOutcome& out = outcomes[shard];
     ShardWorld world = factory(shard, jobs);
+    // One shared seed, not shard_seed: loss and jitter draws are keyed on
+    // (seed, link, flow, sequence), and flows are item-local, so the same
+    // item sees the same fate in every sharding.
     if (options.loss_probability > 0.0) {
       world.internet->network().set_loss(options.loss_probability,
-                                         shard_seed(options.base_seed, shard));
+                                         options.base_seed);
     }
+    world.internet->network().set_latency_model(options.latency);
+    world.internet->network().set_service_model(options.service);
     DomainCampaign campaign(*world.internet, spec,
                             world.scan_resolver->address(),
-                            shard_source(shard));
+                            shard_source(shard), options.retry);
     campaign.run_shard(shard, jobs, options.limit, options.stride);
     out.stats = campaign.stats();
     out.records = campaign.records();
@@ -166,14 +171,16 @@ ParallelSweepResult run_resolver_sweep_parallel(
     ShardWorld world = factory(shard, jobs);
     if (options.loss_probability > 0.0) {
       world.internet->network().set_loss(options.loss_probability,
-                                         shard_seed(options.base_seed, shard));
+                                         options.base_seed);
     }
+    world.internet->network().set_latency_model(options.latency);
+    world.internet->network().set_service_model(options.service);
     // Every worker instantiates the full (identical) population; it only
     // probes its own members. Instantiation is cheap next to probing.
     workload::BuiltPopulation population = workload::instantiate_panel(
         *world.internet, panel, address_base, options.population_seed);
     ResolverProber prober(world.internet->network(), shard_source(shard),
-                          world.probe_zones);
+                          world.probe_zones, options.retry);
     if (shard == 0) out.population = population.members.size();
     for (std::size_t j = shard; j < population.members.size(); j += jobs) {
       out.stats.add(prober.probe(population.members[j].address,

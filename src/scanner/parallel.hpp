@@ -17,9 +17,11 @@
 //    order), and merging is integer-count addition — commutative and
 //    associative. Campaign statistics are therefore bit-identical for any
 //    jobs value, including 1, and for any merge order.
-//  * Anything genuinely stochastic (simulated loss) is seeded per worker
-//    via shard_seed(base_seed, shard); enabling it keeps runs reproducible
-//    for a fixed K but — inherently — not comparable across K.
+//  * Simulated loss, latency jitter and service time are flow-keyed: every
+//    draw is a pure function of (seed, link, flow key, per-flow sequence),
+//    and campaigns key flows on item identity (apex, probe token). One
+//    item's transport fate therefore never depends on other items' traffic,
+//    and loss/latency-enabled campaigns stay bit-identical across K too.
 //
 // Cost accounting: crypto::CostMeter is thread-local. The engine snapshots
 // each worker's counters and credits the totals back to the calling
@@ -34,6 +36,8 @@
 #include <vector>
 
 #include "scanner/campaign.hpp"
+#include "simtime/latency.hpp"
+#include "simtime/simtime.hpp"
 #include "testbed/internet.hpp"
 #include "workload/resolver_population.hpp"
 #include "workload/spec.hpp"
@@ -78,9 +82,16 @@ struct ParallelOptions {
   /// Seed for resolver-population instantiation: deliberately *not* shard-
   /// derived, so every worker instantiates the identical population.
   std::uint64_t population_seed = 7;
-  /// Simulated query loss inside each worker's network (0 disables).
-  /// Non-zero loss is reproducible for a fixed K but not across K.
+  /// Simulated query loss inside each worker's network (0 disables). Loss
+  /// draws are flow-keyed on item identity, so results — including which
+  /// queries are lost — are bit-identical for any jobs value.
   double loss_probability = 0.0;
+  /// Client retransmission policy for scanners and probers (zdns defaults).
+  simtime::RetryPolicy retry{};
+  /// Per-link latency model installed into each worker's network.
+  simtime::LatencyModel latency{};
+  /// SHA-1-block service-time model installed into each worker's network.
+  simtime::ServiceModel service{};
 };
 
 /// Hash work performed by the engine's workers (summed over shards).

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "simnet/exchange.hpp"
+
 namespace zh::scanner {
 namespace {
 
@@ -14,16 +16,37 @@ using dns::RrType;
 
 ResolverProber::ResolverProber(simnet::Network& network,
                                simnet::IpAddress source,
-                               std::vector<testbed::ProbeZone> specs)
-    : network_(network), source_(source), specs_(std::move(specs)) {}
+                               std::vector<testbed::ProbeZone> specs,
+                               simtime::RetryPolicy retry)
+    : network_(network),
+      source_(source),
+      specs_(std::move(specs)),
+      retry_(retry) {}
 
 ZoneObservation ResolverProber::ask(const simnet::IpAddress& resolver,
                                     const Name& qname) {
   ZoneObservation observation;
-  Message query = Message::make_query(next_id_++, qname, RrType::kA,
-                                      /*dnssec_ok=*/true);
-  ++queries_;
-  const auto response = network_.send(source_, resolver, query);
+  // Re-ask on transient SERVFAILs (RFC 8914 EDE 22/23) just like the
+  // domain scanner: a lost upstream packet must not masquerade as the
+  // probed resolver's Item-8 policy. Deterministic SERVFAILs come back
+  // unchanged on every round and are recorded after the first.
+  const unsigned rounds = std::max(1u, retry_.attempts);
+  const simtime::Duration start = network_.clock().now();
+  simnet::ExchangeOutcome ex;
+  unsigned attempts = 0;
+  for (unsigned round = 0; round < rounds; ++round) {
+    Message query = Message::make_query(next_id_++, qname, RrType::kA,
+                                        /*dnssec_ok=*/true);
+    ex = simnet::exchange(network_, source_, resolver, query, retry_);
+    queries_ += ex.attempts;
+    attempts += ex.attempts;
+    if (!ex.response || !simnet::transient_servfail(*ex.response)) break;
+  }
+  observation.attempts = attempts;
+  observation.latency = network_.clock().now() - start;
+  observation.timed_out = ex.timed_out;
+  if (ex.timed_out) ++probe_timeouts_;
+  const auto& response = ex.response;
   if (!response) return observation;
   observation.responsive = true;
   observation.rcode = response->header.rcode;
@@ -41,6 +64,15 @@ ZoneObservation ResolverProber::ask(const simnet::IpAddress& resolver,
 ResolverProbeResult ResolverProber::probe(const simnet::IpAddress& resolver,
                                           const std::string& token) {
   ResolverProbeResult result;
+  // Flow-key the probe on its (unique) token, so this resolver's loss and
+  // jitter draws are independent of the rest of the population sweep.
+  network_.set_flow(simtime::fnv1a(token));
+  probe_timeouts_ = 0;
+  const simtime::Duration start = network_.clock().now();
+  const auto finish = [&] {
+    result.timeouts = probe_timeouts_;
+    result.elapsed = network_.clock().now() - start;
+  };
 
   const auto name_in = [&](const testbed::ProbeZone& spec,
                            bool wildcard) -> Name {
@@ -65,11 +97,15 @@ ResolverProbeResult ResolverProber::probe(const simnet::IpAddress& resolver,
   if (valid) result.valid_zone = ask(resolver, name_in(*valid, true));
   if (expired) result.expired_zone = ask(resolver, name_in(*expired, true));
   result.responsive = result.valid_zone.responsive;
+  result.timed_out = result.valid_zone.timed_out;
   result.validator = result.valid_zone.responsive &&
                      result.valid_zone.rcode == Rcode::kNoError &&
                      result.valid_zone.ad &&
                      result.expired_zone.rcode == Rcode::kServFail;
-  if (!result.validator) return result;
+  if (!result.validator) {
+    finish();
+    return result;
+  }
 
   // The it-N sweep.
   std::sort(its.begin(), its.end(),
@@ -81,6 +117,13 @@ ResolverProbeResult ResolverProber::probe(const simnet::IpAddress& resolver,
         ask(resolver, name_in(*spec, false));
     result.sweep.emplace(spec->iterations, observation);
 
+    if (!observation.responsive) {
+      // No answer is not an RCODE: record the "stop answering" onset
+      // instead of letting the default SERVFAIL pollute the inference.
+      if (observation.timed_out && !result.first_timeout)
+        result.first_timeout = spec->iterations;
+      continue;
+    }
     if (observation.rcode == Rcode::kServFail) {
       if (!result.first_servfail) {
         result.first_servfail = spec->iterations;
@@ -126,6 +169,7 @@ ResolverProbeResult ResolverProber::probe(const simnet::IpAddress& resolver,
     result.item7_violation =
         result.item7_zone.rcode == Rcode::kNxDomain;
   }
+  finish();
   return result;
 }
 

@@ -13,6 +13,7 @@
 
 #include "dns/message.hpp"
 #include "simnet/network.hpp"
+#include "simtime/simtime.hpp"
 #include "testbed/internet.hpp"
 
 namespace zh::scanner {
@@ -20,16 +21,34 @@ namespace zh::scanner {
 /// What one it-N probe returned.
 struct ZoneObservation {
   bool responsive = false;
+  /// First-class Timeout: every retransmission was lost or dropped. Always
+  /// false when `responsive` — and distinct from plain unresponsiveness
+  /// (an unreachable address is not a timeout).
+  bool timed_out = false;
   dns::Rcode rcode = dns::Rcode::kServFail;
   bool ad = false;
   bool ra = false;
   std::optional<dns::EdeCode> ede;
   std::string ede_text;
+  /// Wire attempts the probe spent (1 with no loss or truncation).
+  unsigned attempts = 0;
+  /// Virtual time until the answer (or until retries were exhausted).
+  simtime::Duration latency;
 };
 
 struct ResolverProbeResult {
   bool responsive = false;
   bool validator = false;
+  /// The initial (valid-zone) probe timed out — the §5.2 signature of a
+  /// resolver that stopped answering, not of a dead address.
+  bool timed_out = false;
+  /// Probes across the whole sweep that exhausted their retries.
+  std::uint64_t timeouts = 0;
+  /// Virtual time the whole probe consumed.
+  simtime::Duration elapsed;
+  /// Smallest probed N whose it-N query timed out (drop-above-limit
+  /// resolvers: the "stop answering" onset).
+  std::optional<std::uint16_t> first_timeout;
 
   /// Keyed by iteration count (the it-N sweep only).
   std::map<std::uint16_t, ZoneObservation> sweep;
@@ -62,7 +81,8 @@ struct ResolverProbeResult {
 class ResolverProber {
  public:
   ResolverProber(simnet::Network& network, simnet::IpAddress source,
-                 std::vector<testbed::ProbeZone> specs);
+                 std::vector<testbed::ProbeZone> specs,
+                 simtime::RetryPolicy retry = {});
 
   /// Probes one resolver; `token` makes this resolver's query names unique
   /// (cache busting across a population sweep, §4.2 wildcard rationale).
@@ -78,8 +98,10 @@ class ResolverProber {
   simnet::Network& network_;
   simnet::IpAddress source_;
   std::vector<testbed::ProbeZone> specs_;
+  simtime::RetryPolicy retry_;
   std::uint16_t next_id_ = 1;
   std::uint64_t queries_ = 0;
+  std::uint64_t probe_timeouts_ = 0;  // timeouts within the probe in flight
 };
 
 }  // namespace zh::scanner

@@ -7,13 +7,15 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
-#include <random>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "crypto/cost_meter.hpp"
 #include "dns/message.hpp"
 #include "simnet/address.hpp"
+#include "simtime/latency.hpp"
+#include "simtime/simtime.hpp"
 
 // Debug-mode enforcement of the one-thread-per-Network contract (below).
 // Enabled in non-NDEBUG builds and in sanitizer builds (ZH_THREAD_CHECKS is
@@ -49,7 +51,25 @@ using TamperHook = std::function<bool(dns::Message& response,
                                       const IpAddress& to)>;
 
 /// The network. Single-threaded and deterministic: queries are synchronous
-/// calls, loss is driven by a seeded RNG.
+/// calls, loss is a pure function of (seed, flow, sequence).
+///
+/// ## Virtual time
+///
+/// Each Network owns a simtime::Clock. A delivery advances it by one RTT
+/// sample from the latency model (two for TCP — connection setup) plus the
+/// service-time conversion of the receiving handler's own SHA-1 block
+/// delta; nested deliveries advance it while the outer handler runs, so
+/// last_elapsed() after a send() is the full client-observed wait. Both
+/// models default to inactive: with zero latency and zero service cost the
+/// clock never moves and behaviour is byte-identical to the untimed
+/// network. A *lost* query advances nothing — the waiting is the client's
+/// (see simnet/exchange.hpp), because only the client knows its timeout.
+///
+/// Callers label traffic with set_flow(key): loss and jitter draws are
+/// keyed on (seed, link, flow key, per-flow sequence), so one item's
+/// transport fate does not depend on how many queries *other* items sent
+/// before it — the property that keeps sharded campaigns comparable across
+/// worker counts.
 ///
 /// ## Threading contract: one Network per worker thread
 ///
@@ -106,16 +126,52 @@ class Network {
     return response;
   }
 
-  /// Sends over simulated TCP: no size limit, no truncation.
+  /// Sends over simulated TCP: no size limit, no truncation, and exempt
+  /// from UDP loss (the simulation's TCP stands for a reliable stream).
   std::optional<dns::Message> send_tcp(const IpAddress& from,
                                        const IpAddress& to,
                                        const dns::Message& query) {
     ++tcp_queries_;
-    return deliver(from, to, query);
+    return deliver(from, to, query, /*udp=*/false);
   }
 
   std::uint64_t truncations() const noexcept { return truncations_; }
   std::uint64_t tcp_queries() const noexcept { return tcp_queries_; }
+
+  /// The network's virtual clock (advanced by deliveries; callers advance
+  /// it themselves for client-side timeout waits).
+  simtime::Clock& clock() noexcept { return clock_; }
+  const simtime::Clock& clock() const noexcept { return clock_; }
+
+  void set_latency_model(simtime::LatencyModel model) {
+    latency_ = std::move(model);
+  }
+  const simtime::LatencyModel& latency_model() const noexcept {
+    return latency_;
+  }
+
+  void set_service_model(simtime::ServiceModel model) { service_ = model; }
+  const simtime::ServiceModel& service_model() const noexcept {
+    return service_;
+  }
+
+  /// True when any virtual-time model can move the clock.
+  bool time_models_active() const noexcept {
+    return latency_.active() || service_.active();
+  }
+
+  /// Labels subsequent traffic with a flow key and restarts its sequence
+  /// counter. Campaigns key flows on item identity (domain index, probe
+  /// token), making loss/jitter draws independent of scan order.
+  void set_flow(std::uint64_t key) noexcept {
+    flow_key_ = key;
+    flow_seq_ = 0;
+  }
+  std::uint64_t flow() const noexcept { return flow_key_; }
+
+  /// Virtual time consumed by the most recent send()/send_tcp() — zero for
+  /// a lost or unreachable delivery.
+  simtime::Duration last_elapsed() const noexcept { return last_elapsed_; }
 
   /// Installs (or clears, with nullptr) the on-path attacker.
   void set_tamper(TamperHook hook) { tamper_ = std::move(hook); }
@@ -136,10 +192,13 @@ class Network {
 
   std::uint64_t queries_sent() const noexcept { return queries_sent_; }
 
-  /// Uniform random loss on every send (0 disables; deterministic by seed).
+  /// Uniform random loss on UDP sends (0 disables). Deterministic: each
+  /// drop decision is mix64(seed, flow, sequence) — no sequential RNG
+  /// state, so a flow's fate is independent of other flows' traffic. TCP
+  /// is exempt (reliable stream).
   void set_loss(double probability, std::uint64_t seed = 1) {
     loss_probability_ = probability;
-    loss_rng_.seed(seed);
+    loss_seed_ = seed;
   }
 
   /// Releases the debug-mode thread binding so another thread may take the
@@ -175,23 +234,43 @@ class Network {
 
   std::optional<dns::Message> deliver(const IpAddress& from,
                                       const IpAddress& to,
-                                      const dns::Message& query) {
+                                      const dns::Message& query,
+                                      bool udp = true) {
     assert_owner_thread();
     ++queries_sent_;
-    if (loss_probability_ > 0.0 &&
-        loss_dist_(loss_rng_) < loss_probability_)
+    const std::uint64_t seq = flow_seq_++;
+    last_elapsed_ = {};
+    if (udp && loss_probability_ > 0.0 &&
+        simtime::unit_double(simtime::mix64(
+            loss_seed_ + simtime::mix64(flow_key_ + simtime::mix64(seq)))) <
+            loss_probability_)
       return std::nullopt;
     const auto it = nodes_.find(to);
     if (it == nodes_.end()) return std::nullopt;
     if (logged_destinations_.count(to) > 0 && !query.questions.empty()) {
       log_.push_back(QueryLogEntry{from, to, query.questions.front()});
     }
+    // RTT first (twice for TCP — connection setup), so the clock reads
+    // "query arrived" when the handler runs and issues nested sends.
+    const simtime::Duration start = clock_.now();
+    const simtime::Duration rtt = latency_.sample(from, to, flow_key_, seq);
+    clock_.advance(udp ? rtt : rtt * 2);
     // Attribute hash work done inside the receiving node's handler to the
     // receiver, so callers can report their own validation cost net of the
     // (synchronous, same-thread) server-side proof construction.
     const std::uint64_t before = crypto::CostMeter::sha1_blocks();
+    const std::uint64_t charged_before = service_charged_blocks_;
     auto response = it->second(query, from);
-    receiver_sha1_blocks_ += crypto::CostMeter::sha1_blocks() - before;
+    const std::uint64_t delta = crypto::CostMeter::sha1_blocks() - before;
+    receiver_sha1_blocks_ += delta;
+    // Service time charges each handler's *own* blocks exactly once: the
+    // delta includes work nested deliveries already converted to delay
+    // while this handler ran, so subtract what was charged in between.
+    const std::uint64_t nested = service_charged_blocks_ - charged_before;
+    const std::uint64_t own = delta > nested ? delta - nested : 0;
+    service_charged_blocks_ += own;
+    clock_.advance(service_.cost(own));
+    last_elapsed_ = clock_.now() - start;
     if (response && tamper_ && tamper_(*response, to, from)) ++tampered_;
     return response;
   }
@@ -206,8 +285,14 @@ class Network {
   TamperHook tamper_;
   std::uint64_t tampered_ = 0;
   double loss_probability_ = 0.0;
-  std::mt19937_64 loss_rng_{1};
-  std::uniform_real_distribution<double> loss_dist_{0.0, 1.0};
+  std::uint64_t loss_seed_ = 1;
+  std::uint64_t flow_key_ = 0;
+  std::uint64_t flow_seq_ = 0;
+  simtime::Clock clock_;
+  simtime::LatencyModel latency_;
+  simtime::ServiceModel service_;
+  simtime::Duration last_elapsed_;
+  std::uint64_t service_charged_blocks_ = 0;
 #ifdef ZH_SIMNET_THREAD_CHECKS
   mutable std::atomic<std::thread::id> owner_thread_{};
 #endif

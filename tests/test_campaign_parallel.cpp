@@ -15,8 +15,11 @@
 namespace zh::scanner {
 namespace {
 
-void expect_same_stats(const DomainCampaignStats& a,
-                       const DomainCampaignStats& b) {
+/// The transport-independent aggregates: everything that must survive
+/// loss + retransmission unchanged (the latency/timeout fields are checked
+/// separately — they legitimately differ between a lossy and a clean run).
+void expect_same_classification(const DomainCampaignStats& a,
+                                const DomainCampaignStats& b) {
   EXPECT_EQ(a.scanned, b.scanned);
   EXPECT_EQ(a.dnssec, b.dnssec);
   EXPECT_EQ(a.nsec3, b.nsec3);
@@ -41,6 +44,13 @@ void expect_same_stats(const DomainCampaignStats& a,
   }
 }
 
+void expect_same_stats(const DomainCampaignStats& a,
+                       const DomainCampaignStats& b) {
+  expect_same_classification(a, b);
+  EXPECT_EQ(a.scan_latency_us.histogram(), b.scan_latency_us.histogram());
+  EXPECT_EQ(a.timeouts, b.timeouts);
+}
+
 void expect_same_sweep(const ResolverSweepStats& a,
                        const ResolverSweepStats& b) {
   EXPECT_EQ(a.probed, b.probed);
@@ -52,6 +62,7 @@ void expect_same_sweep(const ResolverSweepStats& a,
     EXPECT_EQ(shares.nxdomain, it->second.nxdomain) << iterations;
     EXPECT_EQ(shares.nxdomain_ad, it->second.nxdomain_ad) << iterations;
     EXPECT_EQ(shares.servfail, it->second.servfail) << iterations;
+    EXPECT_EQ(shares.timeouts, it->second.timeouts) << iterations;
     EXPECT_EQ(shares.total, it->second.total) << iterations;
   }
   EXPECT_EQ(a.item6, b.item6);
@@ -61,6 +72,9 @@ void expect_same_sweep(const ResolverSweepStats& a,
   EXPECT_EQ(a.ede_on_limit, b.ede_on_limit);
   EXPECT_EQ(a.insecure_limits, b.insecure_limits);
   EXPECT_EQ(a.servfail_limits, b.servfail_limits);
+  EXPECT_EQ(a.probe_latency_us.histogram(), b.probe_latency_us.histogram());
+  EXPECT_EQ(a.timeouts, b.timeouts);
+  EXPECT_EQ(a.stop_answering, b.stop_answering);
 }
 
 // ISSUE acceptance: --jobs 1 and --jobs 8 produce identical
@@ -204,6 +218,103 @@ TEST(ParallelSweep, JobsInvariantOnMixedPanel) {
     expect_same_sweep(serial.stats, sharded.stats);
     EXPECT_EQ(serial.queries_issued, sharded.queries_issued);
     EXPECT_EQ(serial.population, sharded.population);
+  }
+}
+
+/// The virtual-time options the time-shaped invariance tests share: loss,
+/// jitter and service cost all active, so the clock genuinely moves.
+ParallelOptions time_shaped_options(unsigned jobs) {
+  ParallelOptions options{.jobs = jobs, .base_seed = 42};
+  options.loss_probability = 0.1;
+  options.retry.attempts = 6;  // absorbs 10 % loss: P(miss) = 1e-6
+  options.latency = simtime::LatencyModel(simtime::Duration::from_ms(20),
+                                          simtime::Duration::from_ms(5),
+                                          /*seed=*/42);
+  options.service = {.per_sha1_block = simtime::Duration::from_us(1)};
+  return options;
+}
+
+// ISSUE acceptance: latency ECDFs and timeout counts — not just the
+// classification aggregates — are bit-identical across --jobs 1/4/16 when
+// loss, jitter and service time are all switched on.
+TEST(ParallelCampaign, TimeShapedCampaignIsJobsInvariant) {
+  const workload::EcosystemSpec spec({.scale = 0.00002, .seed = 42});
+  const auto factory = default_world_factory(spec);
+
+  ParallelOptions serial = time_shaped_options(1);
+  serial.limit = 400;
+  const ParallelCampaignResult baseline =
+      run_domain_campaign_parallel(spec, factory, serial);
+  EXPECT_GT(baseline.stats.scan_latency_us.total(), 0u);
+  EXPECT_GT(baseline.stats.scan_latency_us.max(), 0);
+
+  for (const unsigned jobs : {4u, 16u}) {
+    ParallelOptions sharded = time_shaped_options(jobs);
+    sharded.limit = 400;
+    const ParallelCampaignResult run =
+        run_domain_campaign_parallel(spec, factory, sharded);
+    SCOPED_TRACE(jobs);
+    expect_same_stats(baseline.stats, run.stats);
+    EXPECT_EQ(baseline.queries_issued, run.queries_issued);
+  }
+}
+
+// The resolver sweep's latency/timeout aggregates are jobs-invariant too —
+// including the drop-above-limit cohort, whose probes time out by design.
+TEST(ParallelSweep, TimeShapedSweepIsJobsInvariant) {
+  using resolver::ResolverProfile;
+  workload::PanelSpec panel;
+  panel.panel = workload::Panel::kOpenV4;
+  panel.validator_count = 12;
+  panel.non_validator_count = 2;
+  panel.entries = {
+      {ResolverProfile::bind9_2021(), 0.4, ""},
+      {ResolverProfile::cloudflare(), 0.3, ""},
+      {ResolverProfile::limit_dropper(), 0.3, ""},
+  };
+
+  const workload::EcosystemSpec spec({.scale = 0.00002, .seed = 42});
+  const auto factory = default_world_factory(spec, /*with_domains=*/false);
+
+  const ParallelSweepResult baseline = run_resolver_sweep_parallel(
+      panel, factory, "ttime-", 1u << 22, time_shaped_options(1));
+  EXPECT_EQ(baseline.stats.validators, 12u);
+  // The dropper cohort must actually exercise the timeout path.
+  EXPECT_GT(baseline.stats.stop_answering, 0u);
+  EXPECT_GT(baseline.stats.timeouts, 0u);
+  EXPECT_GT(baseline.stats.probe_latency_us.max(), 0);
+
+  for (const unsigned jobs : {4u, 16u}) {
+    const ParallelSweepResult run = run_resolver_sweep_parallel(
+        panel, factory, "ttime-", 1u << 22, time_shaped_options(jobs));
+    SCOPED_TRACE(jobs);
+    expect_same_sweep(baseline.stats, run.stats);
+    EXPECT_EQ(baseline.queries_issued, run.queries_issued);
+  }
+}
+
+// ISSUE regression for the silent-loss bug: with retransmission in place,
+// moderate loss must not change a single campaign statistic — before the
+// fix, one dropped UDP query marked a domain permanently unresponsive.
+TEST(ParallelCampaign, ModerateLossLeavesStatisticsInvariant) {
+  const workload::EcosystemSpec spec({.scale = 0.00002, .seed = 42});
+  const auto factory = default_world_factory(spec);
+
+  ParallelOptions clean{.jobs = 2, .limit = 300, .base_seed = 42};
+  const ParallelCampaignResult baseline =
+      run_domain_campaign_parallel(spec, factory, clean);
+
+  for (const double loss : {0.05, 0.2}) {
+    ParallelOptions lossy = clean;
+    lossy.loss_probability = loss;
+    lossy.retry.attempts = 8;  // 0.2^8 ≈ 2.6e-6 per exchange: never exhausts
+    const ParallelCampaignResult run =
+        run_domain_campaign_parallel(spec, factory, lossy);
+    SCOPED_TRACE(loss);
+    expect_same_classification(baseline.stats, run.stats);
+    EXPECT_EQ(run.stats.timeouts, 0u);
+    // Retransmissions are real queries: the lossy run must issue more.
+    EXPECT_GT(run.queries_issued, baseline.queries_issued);
   }
 }
 

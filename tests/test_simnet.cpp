@@ -119,6 +119,90 @@ TEST(Network, LossDropsDeterministically) {
   EXPECT_EQ(delivered, delivered2);
 }
 
+TEST(Network, LossSeedSelectsTheDroppedSubset) {
+  const auto server = IpAddress::v4(192, 0, 2, 1);
+  const auto handler = [](const Message& q, const IpAddress&) {
+    return std::optional<Message>(Message::make_response(q));
+  };
+  const Message query =
+      Message::make_query(1, Name::must_parse("example.com"), RrType::kA);
+  // The per-send fate pattern is a function of the seed: two seeds must
+  // disagree somewhere in 200 draws (P(identical) = 2^-200 at loss 0.5).
+  const auto fates = [&](std::uint64_t seed) {
+    Network network;
+    network.attach(server, handler);
+    network.set_loss(0.5, seed);
+    std::vector<bool> delivered;
+    for (int i = 0; i < 200; ++i) {
+      delivered.push_back(
+          network.send(IpAddress::v4(1, 1, 1, 1), server, query).has_value());
+    }
+    return delivered;
+  };
+  EXPECT_EQ(fates(42), fates(42));
+  EXPECT_NE(fates(42), fates(43));
+}
+
+TEST(Network, ClearingLossRestoresPerfectDelivery) {
+  Network network;
+  const auto server = IpAddress::v4(192, 0, 2, 1);
+  network.attach(server, [](const Message& q, const IpAddress&) {
+    return std::optional<Message>(Message::make_response(q));
+  });
+  const Message query =
+      Message::make_query(1, Name::must_parse("example.com"), RrType::kA);
+  network.set_loss(1.0, 42);
+  EXPECT_FALSE(network.send(IpAddress::v4(1, 1, 1, 1), server, query));
+  network.set_loss(0.0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(network.send(IpAddress::v4(1, 1, 1, 1), server, query));
+  }
+}
+
+TEST(Network, TcpIsExemptFromUdpLoss) {
+  Network network;
+  const auto server = IpAddress::v4(192, 0, 2, 1);
+  network.attach(server, [](const Message& q, const IpAddress&) {
+    return std::optional<Message>(Message::make_response(q));
+  });
+  network.set_loss(1.0, 42);
+  const Message query =
+      Message::make_query(1, Name::must_parse("example.com"), RrType::kA);
+  EXPECT_FALSE(network.send(IpAddress::v4(1, 1, 1, 1), server, query));
+  // TCP models a reliable stream: it must get through under total UDP loss.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(network.send_tcp(IpAddress::v4(1, 1, 1, 1), server, query));
+  }
+}
+
+TEST(Network, FlowKeyedLossIsIndependentOfOtherTraffic) {
+  const auto server = IpAddress::v4(192, 0, 2, 1);
+  const auto handler = [](const Message& q, const IpAddress&) {
+    return std::optional<Message>(Message::make_response(q));
+  };
+  const Message query =
+      Message::make_query(1, Name::must_parse("example.com"), RrType::kA);
+  // Flow 7's fate pattern must not depend on how much traffic *other*
+  // flows sent first — the property sharded campaigns rely on.
+  const auto flow7_fates = [&](int other_traffic) {
+    Network network;
+    network.attach(server, handler);
+    network.set_loss(0.5, 42);
+    network.set_flow(99);
+    for (int i = 0; i < other_traffic; ++i) {
+      (void)network.send(IpAddress::v4(1, 1, 1, 1), server, query);
+    }
+    network.set_flow(7);
+    std::vector<bool> delivered;
+    for (int i = 0; i < 100; ++i) {
+      delivered.push_back(
+          network.send(IpAddress::v4(1, 1, 1, 1), server, query).has_value());
+    }
+    return delivered;
+  };
+  EXPECT_EQ(flow7_fates(0), flow7_fates(137));
+}
+
 TEST(Network, ServerSideLoggingRecordsSources) {
   Network network;
   const auto server = IpAddress::v4(192, 0, 2, 1);
