@@ -1,0 +1,251 @@
+// DoS amplification sweep: NSEC3 iteration count × concurrent clients →
+// queueing delay (p50/p99), drop rate and latency amplification at a
+// bounded-worker victim resolver.
+//
+// This is the CVE-2023-50868 story with the authoritative-side half
+// attached (simtime/queue.hpp): the hash cost of a high-iteration
+// closest-encloser proof occupies one of the victim's worker slots for the
+// whole resolution, so K staggered concurrent probes contend — the backlog
+// (and with it every bystander's waiting time) grows with iterations ×
+// concurrency, and past the backlog bound the victim sheds load. With one
+// client (K=1) the queue never fills and the row reproduces the plain
+// service-time latency, which is why the amplification column is
+// normalised against it.
+//
+// Determinism: every cell is a fresh world; clients are flow-keyed by a
+// per-cell token, arrivals are explicit offsets (simnet::concurrent_exchange),
+// and --jobs only distributes *cells* over threads (each worker builds its
+// own world in-thread), so the table is bit-identical for any --jobs value.
+//
+// Flags (bench_common.hpp vocabulary, plus bench-specific ones):
+//   --jobs N        worker threads over cells (default 1)
+//   --latency MS    base link RTT (default 1 ms; jitter defaults to 0)
+//   --retries/--timeout   client retry policy (zdns defaults)
+//   --workers N     victim worker slots (default 2)
+//   --backlog N     victim backlog bound (default 16)
+//   --spacing-us U  arrival stagger between clients (default 250 µs)
+//   --servfail      shed with SERVFAIL + EDE 23 instead of silent drop
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "analysis/stats.hpp"
+#include "bench_common.hpp"
+#include "simnet/batch.hpp"
+
+namespace {
+
+using namespace zh;
+
+constexpr std::uint16_t kTiers[] = {1, 150, 500};
+constexpr unsigned kClientCounts[] = {1, 4, 16, 64};
+
+struct Cell {
+  std::uint16_t iterations = 0;
+  unsigned clients = 0;
+};
+
+struct CellResult {
+  double p50_wait_ms = 0.0;
+  double p99_wait_ms = 0.0;
+  double drop_rate = 0.0;     // shed deliveries / offered deliveries
+  double p99_elapsed_ms = 0.0;
+  double mean_elapsed_ms = 0.0;
+  double utilisation = 0.0;   // busy time / (makespan × workers)
+  std::uint64_t timeouts = 0;
+};
+
+CellResult run_cell(const Cell& cell, const bench::BenchFlags& flags,
+                    const simtime::QueueModel& queue,
+                    simtime::Duration spacing, std::uint64_t seed) {
+  // A fresh world per cell: the resolver's aggressive NSEC3 negative cache
+  // (RFC 8198) and the queue's counters must not leak across cells.
+  testbed::Internet internet;
+  const auto probe_zones = testbed::add_probe_infrastructure(internet);
+  internet.build();
+
+  // The victim: a permissive validator (no iteration cut-off, no deadline —
+  // it validates even a 500-iteration proof in full) with a bounded worker
+  // pool, installed through the profile so the override path is exercised.
+  resolver::ResolverProfile profile = resolver::ResolverProfile::permissive();
+  profile.queue = queue;
+  const auto victim =
+      internet.make_resolver(profile, simnet::IpAddress::v4(10, 66, 0, 1));
+
+  simnet::Network& network = internet.network();
+  network.set_latency_model(flags.latency_model(seed));
+  network.set_service_model({.per_sha1_block = simtime::Duration::from_us(1)});
+
+  const testbed::ProbeZone* zone = nullptr;
+  for (const auto& candidate : probe_zones) {
+    if (candidate.iterations == cell.iterations && !candidate.expired &&
+        !candidate.nsec3_expired) {
+      zone = &candidate;
+      break;
+    }
+  }
+  if (!zone) return {};
+
+  char prefix[32];
+  std::snprintf(prefix, sizeof prefix, "dos-%03u-%03u", cell.iterations,
+                cell.clients);
+
+  // One warm-up probe so every batch client hits a warm root/TLD/DNSKEY
+  // cache and only the (unique-name) NXDOMAIN proof fetch remains.
+  {
+    const std::string token = std::string(prefix) + "-warm";
+    network.set_flow(simtime::fnv1a(token));
+    const auto qname = *zone->apex.prepended("nx")->prepended(token);
+    (void)simnet::exchange(
+        network, simnet::IpAddress::v4(203, 0, 113, 250), victim->address(),
+        dns::Message::make_query(1, qname, dns::RrType::kA,
+                                 /*dnssec_ok=*/true),
+        flags.retry);
+  }
+
+  std::vector<simnet::BatchClient> clients;
+  clients.reserve(cell.clients);
+  for (unsigned i = 0; i < cell.clients; ++i) {
+    char token[48];
+    std::snprintf(token, sizeof token, "%s-c%03u", prefix, i);
+    simnet::BatchClient client;
+    client.source = simnet::IpAddress::v4(203, 0, 113,
+                                          static_cast<std::uint8_t>(1 + i));
+    const auto qname = *zone->apex.prepended("nx")->prepended(token);
+    client.query = dns::Message::make_query(
+        static_cast<std::uint16_t>(100 + i), qname, dns::RrType::kA,
+        /*dnssec_ok=*/true);
+    client.flow = simtime::fnv1a(token);
+    client.offset = spacing * static_cast<std::int64_t>(i);
+    clients.push_back(std::move(client));
+  }
+
+  const simtime::QueueCounters before = network.queue_counters();
+  const simnet::BatchResult batch = simnet::concurrent_exchange(
+      network, victim->address(), clients, flags.retry);
+  const simtime::QueueCounters& after = network.queue_counters();
+
+  analysis::Ecdf wait_us;
+  analysis::Ecdf elapsed_us;
+  double elapsed_sum_ms = 0.0;
+  CellResult result;
+  for (std::size_t i = 0; i < batch.outcomes.size(); ++i) {
+    wait_us.add(batch.queue_waits[i].micros());
+    elapsed_us.add(batch.outcomes[i].elapsed.micros());
+    elapsed_sum_ms +=
+        static_cast<double>(batch.outcomes[i].elapsed.micros()) / 1000.0;
+    if (batch.outcomes[i].timed_out) ++result.timeouts;
+  }
+  const std::uint64_t offered = (after.admitted - before.admitted) +
+                                (after.dropped - before.dropped);
+  result.p50_wait_ms =
+      static_cast<double>(wait_us.percentile(0.50)) / 1000.0;
+  result.p99_wait_ms =
+      static_cast<double>(wait_us.percentile(0.99)) / 1000.0;
+  result.drop_rate =
+      offered == 0 ? 0.0
+                   : static_cast<double>(after.dropped - before.dropped) /
+                         static_cast<double>(offered);
+  result.p99_elapsed_ms =
+      static_cast<double>(elapsed_us.percentile(0.99)) / 1000.0;
+  result.mean_elapsed_ms =
+      batch.outcomes.empty()
+          ? 0.0
+          : elapsed_sum_ms / static_cast<double>(batch.outcomes.size());
+  result.utilisation = simtime::QueueCounters{
+      .busy_ns = after.busy_ns - before.busy_ns}
+                           .utilisation(batch.makespan, queue.workers);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchFlags flags = bench::parse_flags(argc, argv);
+  // This bench is about contention, not link quality: default to a fast
+  // clean link so queueing (not RTT) dominates the table.
+  if (flags.latency_ms <= 0.0 && flags.jitter_ms <= 0.0)
+    flags.latency_ms = 1.0;
+  const std::uint64_t seed = bench::env_u64("ZH_SEED", 42);
+
+  simtime::QueueModel queue;
+  queue.workers = 2;
+  queue.backlog = 16;
+  queue.shed = simtime::QueueModel::Shed::kDrop;
+  long spacing_us = 250;
+  for (int i = 1; i < argc; ++i) {
+    const auto value_of = [&](const char* name) -> const char* {
+      const std::size_t len = std::strlen(name);
+      if (std::strncmp(argv[i], name, len) != 0) return nullptr;
+      if (argv[i][len] == '=') return argv[i] + len + 1;
+      if (argv[i][len] == '\0' && i + 1 < argc) return argv[++i];
+      return nullptr;
+    };
+    if (const char* v = value_of("--workers")) {
+      queue.workers = static_cast<unsigned>(std::atol(v));
+    } else if (const char* v = value_of("--backlog")) {
+      queue.backlog = static_cast<std::size_t>(std::atol(v));
+    } else if (const char* v = value_of("--spacing-us")) {
+      spacing_us = std::atol(v);
+    } else if (std::strcmp(argv[i], "--servfail") == 0) {
+      queue.shed = simtime::QueueModel::Shed::kServfail;
+    }
+  }
+  const simtime::Duration spacing = simtime::Duration::from_us(spacing_us);
+
+  std::vector<Cell> cells;
+  for (const std::uint16_t tier : kTiers)
+    for (const unsigned k : kClientCounts)
+      cells.push_back({tier, k});
+
+  std::printf(
+      "# victim: permissive validator, %u workers, backlog %zu, shed=%s\n"
+      "# link %.1f ms RTT, service 1 µs/SHA-1 block, arrivals every %ld µs\n",
+      queue.workers, queue.backlog,
+      queue.shed == simtime::QueueModel::Shed::kDrop ? "drop" : "servfail",
+      flags.latency_ms, spacing_us);
+
+  // --jobs parallelises *cells*; each worker builds its own world inside
+  // its own thread (simnet's one-network-per-thread contract), and results
+  // land in the fixed cell order, so output is identical for any jobs.
+  std::vector<CellResult> results(cells.size());
+  const unsigned jobs =
+      std::min<unsigned>(flags.jobs, static_cast<unsigned>(cells.size()));
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> workers;
+  const auto drain = [&] {
+    for (std::size_t i = next.fetch_add(1); i < cells.size();
+         i = next.fetch_add(1))
+      results[i] = run_cell(cells[i], flags, queue, spacing, seed);
+  };
+  for (unsigned t = 1; t < jobs; ++t) workers.emplace_back(drain);
+  drain();
+  for (auto& worker : workers) worker.join();
+
+  std::printf("%8s %8s %12s %12s %8s %8s %13s %7s %6s\n", "add.it.",
+              "clients", "p50 wait", "p99 wait", "drops", "t/outs",
+              "p99 latency", "ampl.", "util.");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& r = results[i];
+    // Amplification: mean client-observed latency relative to the same
+    // tier's uncontended (K=1) cell.
+    double baseline = 0.0;
+    for (std::size_t j = 0; j < cells.size(); ++j) {
+      if (cells[j].iterations == cells[i].iterations &&
+          cells[j].clients == 1) {
+        baseline = results[j].mean_elapsed_ms;
+        break;
+      }
+    }
+    std::printf(
+        "%8u %8u %9.2f ms %9.2f ms %7.1f%% %8llu %10.2f ms %6.2fx %5.0f%%\n",
+        cells[i].iterations, cells[i].clients, r.p50_wait_ms, r.p99_wait_ms,
+        100.0 * r.drop_rate, static_cast<unsigned long long>(r.timeouts),
+        r.p99_elapsed_ms,
+        baseline > 0.0 ? r.mean_elapsed_ms / baseline : 1.0,
+        100.0 * r.utilisation);
+  }
+  return 0;
+}

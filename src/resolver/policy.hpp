@@ -17,6 +17,7 @@
 #include <string>
 
 #include "dns/types.hpp"
+#include "simtime/queue.hpp"
 #include "simtime/simtime.hpp"
 
 namespace zh::resolver {
@@ -95,6 +96,12 @@ struct ResolverProfile {
 
   /// Same split for deadline expiry: drop instead of SERVFAIL.
   bool drop_on_timeout = false;
+
+  /// Front-door service queue (worker pool + backlog bound) modelling the
+  /// vendor's overload behaviour; installed as a per-address queue override
+  /// by testbed::Internet::make_resolver. Unset (or inactive) leaves the
+  /// resolver queueless — the default, which keeps goldens byte-identical.
+  std::optional<simtime::QueueModel> queue;
 
   // --- software profiles (changelog-documented) ---
   static ResolverProfile bind9_2021();      // insecure > 150

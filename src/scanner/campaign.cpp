@@ -85,11 +85,18 @@ void DomainCampaign::run_shard(std::size_t shard, std::size_t shards,
     const std::size_t index = position * stride;
     if (index >= count || index / stride != position) break;  // overflow
     const workload::DomainProfile profile = spec_.domain(index);
+    const simtime::QueueCounters queue_before =
+        internet_.network().queue_counters();
     const DomainScanResult result = scanner_.scan(profile.apex);
+    const simtime::QueueCounters& queue_after =
+        internet_.network().queue_counters();
 
     ++stats_.scanned;
     stats_.scan_latency_us.add(result.elapsed.micros());
     stats_.timeouts += result.timeouts;
+    stats_.queue_delay_us.add(static_cast<std::int64_t>(
+        (queue_after.wait_ns - queue_before.wait_ns) / 1000));
+    stats_.queue_drops += queue_after.dropped - queue_before.dropped;
     CompactDomainRecord record;
     record.index = static_cast<std::uint32_t>(index);
     record.classification = result.classification;
@@ -153,6 +160,8 @@ void DomainCampaignStats::merge(const DomainCampaignStats& other) {
     operator_params[op].merge(params);
   scan_latency_us.merge(other.scan_latency_us);
   timeouts += other.timeouts;
+  queue_delay_us.merge(other.queue_delay_us);
+  queue_drops += other.queue_drops;
 }
 
 const CompactDomainRecord* DomainCampaign::record_for(
@@ -192,6 +201,8 @@ void ResolverSweepStats::add(const ResolverProbeResult& result) {
   ++probed;
   probe_latency_us.add(result.elapsed.micros());
   timeouts += result.timeouts;
+  queue_delay_us.add(result.queue_wait.micros());
+  queue_drops += result.queue_drops;
   if (!result.validator) return;
   ++validators;
   if (result.first_timeout) ++stop_answering;
@@ -248,6 +259,8 @@ void ResolverSweepStats::merge(const ResolverSweepStats& other) {
   probe_latency_us.merge(other.probe_latency_us);
   timeouts += other.timeouts;
   stop_answering += other.stop_answering;
+  queue_delay_us.merge(other.queue_delay_us);
+  queue_drops += other.queue_drops;
 }
 
 }  // namespace zh::scanner

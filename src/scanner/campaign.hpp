@@ -56,6 +56,11 @@ struct DomainCampaignStats {
   analysis::Ecdf scan_latency_us;
   /// Scanner queries that exhausted every retransmission.
   std::uint64_t timeouts = 0;
+  /// Per-scan service-queue waiting time, in microseconds (all zeros
+  /// unless a queue model is installed — see simtime/queue.hpp).
+  analysis::Ecdf queue_delay_us;
+  /// Deliveries shed by a saturated queue during the campaign.
+  std::uint64_t queue_drops = 0;
 
   /// Folds another shard's aggregates in. Commutative and associative, so
   /// per-shard stats merged in any order equal the unsharded campaign.
@@ -167,6 +172,10 @@ struct ResolverSweepStats {
   analysis::Ecdf probe_latency_us;
   /// Probe queries that exhausted every retransmission.
   std::uint64_t timeouts = 0;
+  /// Per-probe service-queue waiting time, in microseconds.
+  analysis::Ecdf queue_delay_us;
+  /// Deliveries shed by a saturated queue during the sweep.
+  std::uint64_t queue_drops = 0;
   /// Validators that answered below some it-N but stopped answering
   /// (timed out) above it — the paper's drop-above-limit cohort.
   std::uint64_t stop_answering = 0;

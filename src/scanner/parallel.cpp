@@ -123,6 +123,7 @@ ParallelCampaignResult run_domain_campaign_parallel(
     }
     world.internet->network().set_latency_model(options.latency);
     world.internet->network().set_service_model(options.service);
+    world.internet->network().set_queue_model(options.queue);
     DomainCampaign campaign(*world.internet, spec,
                             world.scan_resolver->address(),
                             shard_source(shard), options.retry);
@@ -175,6 +176,7 @@ ParallelSweepResult run_resolver_sweep_parallel(
     }
     world.internet->network().set_latency_model(options.latency);
     world.internet->network().set_service_model(options.service);
+    world.internet->network().set_queue_model(options.queue);
     // Every worker instantiates the full (identical) population; it only
     // probes its own members. Instantiation is cheap next to probing.
     workload::BuiltPopulation population = workload::instantiate_panel(

@@ -92,6 +92,11 @@ struct ParallelOptions {
   simtime::LatencyModel latency{};
   /// SHA-1-block service-time model installed into each worker's network.
   simtime::ServiceModel service{};
+  /// Default service-queue model installed into each worker's network
+  /// (inactive by default). Queue epochs are flow-scoped — set_flow()
+  /// resets the live queue state — so per-item observations stay
+  /// bit-identical for any jobs value even with queueing on.
+  simtime::QueueModel queue{};
 };
 
 /// Hash work performed by the engine's workers (summed over shards).

@@ -69,9 +69,14 @@ ResolverProbeResult ResolverProber::probe(const simnet::IpAddress& resolver,
   network_.set_flow(simtime::fnv1a(token));
   probe_timeouts_ = 0;
   const simtime::Duration start = network_.clock().now();
+  const simtime::QueueCounters queue_before = network_.queue_counters();
   const auto finish = [&] {
     result.timeouts = probe_timeouts_;
     result.elapsed = network_.clock().now() - start;
+    const simtime::QueueCounters& queue_after = network_.queue_counters();
+    result.queue_wait = simtime::Duration::from_ns(
+        static_cast<std::int64_t>(queue_after.wait_ns - queue_before.wait_ns));
+    result.queue_drops = queue_after.dropped - queue_before.dropped;
   };
 
   const auto name_in = [&](const testbed::ProbeZone& spec,

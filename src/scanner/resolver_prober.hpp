@@ -46,6 +46,11 @@ struct ResolverProbeResult {
   std::uint64_t timeouts = 0;
   /// Virtual time the whole probe consumed.
   simtime::Duration elapsed;
+  /// Service-queue waiting time accrued during the probe (zero unless a
+  /// queue model is installed — see simtime/queue.hpp).
+  simtime::Duration queue_wait;
+  /// Deliveries shed by a saturated queue during the probe.
+  std::uint64_t queue_drops = 0;
   /// Smallest probed N whose it-N query timed out (drop-above-limit
   /// resolvers: the "stop answering" onset).
   std::optional<std::uint16_t> first_timeout;

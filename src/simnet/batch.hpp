@@ -1,0 +1,91 @@
+// Concurrent clients over the single-threaded simulated network.
+//
+// The network is strictly synchronous — one delivery at a time — but the
+// DoS story (CVE-2023-50868, docs/ARCHITECTURE.md "Queueing & overload")
+// needs K clients probing one destination *at the same virtual time* so
+// their requests contend for its worker slots. concurrent_exchange gets
+// there without threads: it multiplexes K logical client timelines over
+// one Network by rewinding the clock to each client's staggered arrival
+// instant before running its exchange, while the destination's queue state
+// persists across clients (QueueEpoch::kJoin). Each client's waits are
+// measured on its own timeline; the batch ends at the latest completion.
+//
+// Determinism: client order is the caller's vector order, arrival instants
+// are explicit offsets, and every latency/loss draw is keyed on the
+// client's flow — nothing depends on wall time or interleaving. Queue
+// admissions happen in client order; pass nondecreasing offsets for a
+// faithful arrival-ordered FIFO.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simnet/exchange.hpp"
+#include "simnet/network.hpp"
+#include "simtime/simtime.hpp"
+
+namespace zh::simnet {
+
+/// One logical client in a concurrent batch.
+struct BatchClient {
+  IpAddress source;
+  dns::Message query;
+  /// Flow key for this client's latency/loss/jitter draws (jitter is
+  /// deliberately client-address-free, so distinct flows are what gives
+  /// clients independent transport fates — see docs/DETERMINISM.md).
+  std::uint64_t flow = 0;
+  /// Arrival instant relative to the batch epoch. Staggered arrivals are
+  /// what make contention depend on service time: a backlog builds only
+  /// when the per-request service time exceeds the arrival spacing times
+  /// the worker count.
+  simtime::Duration offset;
+};
+
+/// The batch outcome: per-client results (input order) plus the makespan.
+struct BatchResult {
+  std::vector<ExchangeOutcome> outcomes;
+  /// Per-client service-queue waiting time (network counter delta across
+  /// the client's exchange, so retransmitted attempts are included).
+  std::vector<simtime::Duration> queue_waits;
+  /// Per-client deliveries shed by a saturated queue.
+  std::vector<std::uint64_t> queue_drops;
+  /// Batch epoch to the last client's completion — the virtual wall-clock
+  /// span the utilisation counters are measured against.
+  simtime::Duration makespan;
+};
+
+/// Runs every client's exchange against `to` within one queue epoch. The
+/// clock is rewound to (epoch + offset) per client, so clients overlap in
+/// virtual time even though the simulation serves them sequentially; on
+/// return the clock rests at the latest completion. The last client's flow
+/// label remains installed — callers start their next item with set_flow()
+/// as usual (which also ends the batch's queue epoch).
+inline BatchResult concurrent_exchange(Network& network, const IpAddress& to,
+                                       const std::vector<BatchClient>& clients,
+                                       const simtime::RetryPolicy& policy = {}) {
+  BatchResult result;
+  result.outcomes.reserve(clients.size());
+  result.queue_waits.reserve(clients.size());
+  result.queue_drops.reserve(clients.size());
+  const simtime::Duration epoch = network.clock().now();
+  network.end_queue_epoch();
+  simtime::Duration last_completion = epoch;
+  for (const BatchClient& client : clients) {
+    network.clock().set(epoch + client.offset);
+    network.set_flow(client.flow, Network::QueueEpoch::kJoin);
+    const simtime::QueueCounters before = network.queue_counters();
+    result.outcomes.push_back(
+        exchange(network, client.source, to, client.query, policy));
+    const simtime::QueueCounters& after = network.queue_counters();
+    result.queue_waits.push_back(simtime::Duration::from_ns(
+        static_cast<std::int64_t>(after.wait_ns - before.wait_ns)));
+    result.queue_drops.push_back(after.dropped - before.dropped);
+    if (network.clock().now() > last_completion)
+      last_completion = network.clock().now();
+  }
+  network.clock().set(last_completion);
+  result.makespan = last_completion - epoch;
+  return result;
+}
+
+}  // namespace zh::simnet

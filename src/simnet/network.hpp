@@ -15,6 +15,7 @@
 #include "dns/message.hpp"
 #include "simnet/address.hpp"
 #include "simtime/latency.hpp"
+#include "simtime/queue.hpp"
 #include "simtime/simtime.hpp"
 
 // Debug-mode enforcement of the one-thread-per-Network contract (below).
@@ -155,17 +156,67 @@ class Network {
     return service_;
   }
 
-  /// True when any virtual-time model can move the clock.
+  /// True when any virtual-time model can move the clock. Queueing alone
+  /// is excluded deliberately: with zero latency and zero service cost
+  /// every request arrives, starts and completes at the same instant, so a
+  /// queue can never introduce a wait on its own.
   bool time_models_active() const noexcept {
     return latency_.active() || service_.active();
   }
 
+  /// Installs the default service queue applied to every attached node
+  /// (inactive by default — see simtime/queue.hpp). Discards live queue
+  /// state: configuration changes start a fresh epoch.
+  void set_queue_model(simtime::QueueModel model) {
+    queue_model_ = model;
+    end_queue_epoch();
+  }
+  const simtime::QueueModel& queue_model() const noexcept {
+    return queue_model_;
+  }
+
+  /// Per-destination override (e.g. one resolver vendor profile's worker
+  /// pool). An *inactive* override exempts the address from the default.
+  void set_queue(const IpAddress& destination, simtime::QueueModel model) {
+    queue_overrides_[destination] = model;
+    end_queue_epoch();
+  }
+
+  /// True when any destination can currently queue or shed.
+  bool queueing_active() const noexcept {
+    if (queue_model_.active()) return true;
+    for (const auto& [address, model] : queue_overrides_)
+      if (model.active()) return true;
+    return false;
+  }
+
+  /// Cumulative queueing counters over all destinations and epochs.
+  const simtime::QueueCounters& queue_counters() const noexcept {
+    return queue_counters_;
+  }
+
+  /// Discards all live queue state: subsequent arrivals find every worker
+  /// slot idle. Called by set_flow(), so contention is scoped to one flow
+  /// (campaign item) — the property that keeps queue-enabled campaigns
+  /// bit-identical for any worker count. Batch drivers that *want* their
+  /// clients to contend join one epoch instead (QueueEpoch::kJoin).
+  void end_queue_epoch() noexcept { queues_.clear(); }
+
+  /// Whether a flow change starts a fresh queue epoch (the default) or
+  /// keeps the live queue state so deliberately concurrent flows contend.
+  enum class QueueEpoch { kNew, kJoin };
+
   /// Labels subsequent traffic with a flow key and restarts its sequence
   /// counter. Campaigns key flows on item identity (domain index, probe
-  /// token), making loss/jitter draws independent of scan order.
-  void set_flow(std::uint64_t key) noexcept {
+  /// token), making loss/jitter draws independent of scan order. By
+  /// default this also starts a fresh queue epoch; pass QueueEpoch::kJoin
+  /// to contend with the previous flows' queue state (see
+  /// simnet::concurrent_exchange).
+  void set_flow(std::uint64_t key,
+                QueueEpoch epoch = QueueEpoch::kNew) noexcept {
     flow_key_ = key;
     flow_seq_ = 0;
+    if (epoch == QueueEpoch::kNew) end_queue_epoch();
   }
   std::uint64_t flow() const noexcept { return flow_key_; }
 
@@ -255,6 +306,40 @@ class Network {
     const simtime::Duration start = clock_.now();
     const simtime::Duration rtt = latency_.sample(from, to, flow_key_, seq);
     clock_.advance(udp ? rtt : rtt * 2);
+    // Service queueing: the destination's worker pool decides when service
+    // starts, or sheds the request outright when the backlog is full.
+    simtime::QueueAdmission admission;
+    simtime::ServiceQueue* queue = nullptr;
+    if (const simtime::QueueModel* model = queue_model_for(to)) {
+      queue = &queue_state(to, *model);
+      admission = queue->admit(clock_.now());
+      if (!admission.admitted) {
+        ++queue_counters_.dropped;
+        if (model->shed == simtime::QueueModel::Shed::kDrop) {
+          // Like a lost datagram: nothing was served, the waiting is the
+          // client's (simnet/exchange.hpp). Nothing ran since `start`, so
+          // rewinding cannot disturb any other delivery frame.
+          clock_.set(start);
+          return std::nullopt;
+        }
+        dns::Message shed = dns::Message::make_response(query);
+        shed.header.rcode = dns::Rcode::kServFail;
+        if (shed.edns) {
+          shed.edns->add_ede(dns::EdeCode::kNetworkError, "server overloaded");
+        }
+        last_elapsed_ = clock_.now() - start;
+        return shed;
+      }
+      clock_.advance(admission.wait);
+      ++queue_counters_.admitted;
+      if (!admission.wait.zero()) {
+        ++queue_counters_.delayed;
+        queue_counters_.wait_ns +=
+            static_cast<std::uint64_t>(admission.wait.nanos());
+        if (queue->counters().max_backlog > queue_counters_.max_backlog)
+          queue_counters_.max_backlog = queue->counters().max_backlog;
+      }
+    }
     // Attribute hash work done inside the receiving node's handler to the
     // receiver, so callers can report their own validation cost net of the
     // (synchronous, same-thread) server-side proof construction.
@@ -270,9 +355,36 @@ class Network {
     const std::uint64_t own = delta > nested ? delta - nested : 0;
     service_charged_blocks_ += own;
     clock_.advance(service_.cost(own));
+    if (queue) {
+      // The slot is occupied from service start to completion — including
+      // nested upstream waits, exactly like a recursion-in-progress holds
+      // a resolver worker context.
+      queue->complete(admission, clock_.now());
+      queue_counters_.busy_ns +=
+          static_cast<std::uint64_t>((clock_.now() - admission.start).nanos());
+    }
     last_elapsed_ = clock_.now() - start;
     if (response && tamper_ && tamper_(*response, to, from)) ++tampered_;
     return response;
+  }
+
+  /// The queue model governing `to`: a per-address override wins (an
+  /// inactive override exempts the address), else the network default;
+  /// nullptr when no active model applies.
+  const simtime::QueueModel* queue_model_for(const IpAddress& to) const {
+    const auto it = queue_overrides_.find(to);
+    const simtime::QueueModel& model =
+        it != queue_overrides_.end() ? it->second : queue_model_;
+    return model.active() ? &model : nullptr;
+  }
+
+  /// Live queue state for `to` this epoch (created idle on first use).
+  simtime::ServiceQueue& queue_state(const IpAddress& to,
+                                     const simtime::QueueModel& model) {
+    auto it = queues_.find(to);
+    if (it == queues_.end())
+      it = queues_.emplace(to, simtime::ServiceQueue(model)).first;
+    return it->second;
   }
 
   std::unordered_map<IpAddress, MessageHandler, IpAddressHash> nodes_;
@@ -293,6 +405,13 @@ class Network {
   simtime::ServiceModel service_;
   simtime::Duration last_elapsed_;
   std::uint64_t service_charged_blocks_ = 0;
+  simtime::QueueModel queue_model_;
+  std::unordered_map<IpAddress, simtime::QueueModel, IpAddressHash>
+      queue_overrides_;
+  /// Live per-destination queue state for the current epoch only;
+  /// queue_counters_ accumulates across epochs.
+  std::unordered_map<IpAddress, simtime::ServiceQueue, IpAddressHash> queues_;
+  simtime::QueueCounters queue_counters_;
 #ifdef ZH_SIMNET_THREAD_CHECKS
   mutable std::atomic<std::thread::id> owner_thread_{};
 #endif

@@ -1,0 +1,59 @@
+#include "simtime/queue.hpp"
+
+#include <algorithm>
+
+namespace zh::simtime {
+
+ServiceQueue::ServiceQueue(const QueueModel& model)
+    : model_(model),
+      busy_until_(model.active() ? model.workers : 1, Duration{}) {}
+
+QueueAdmission ServiceQueue::admit(Duration arrival) {
+  QueueAdmission admission;
+
+  // Earliest-free worker slot (FIFO: every queued request ahead of us will
+  // occupy exactly the slots that free up before ours).
+  const auto slot_it = std::min_element(busy_until_.begin(), busy_until_.end());
+  const Duration free_at = *slot_it;
+  const Duration start = std::max(arrival, free_at);
+
+  if (start > arrival) {
+    // We would wait — count the admissions already waiting at this arrival
+    // (their service starts after it) to enforce the backlog bound.
+    std::size_t waiting = 0;
+    for (const Duration s : starts_) {
+      if (s > arrival) ++waiting;
+    }
+    if (waiting >= model_.backlog) {
+      ++counters_.dropped;
+      return admission;  // shed
+    }
+    ++counters_.delayed;
+    counters_.wait_ns +=
+        static_cast<std::uint64_t>((start - arrival).nanos());
+    if (waiting + 1 > counters_.max_backlog)
+      counters_.max_backlog = waiting + 1;
+  }
+
+  ++counters_.admitted;
+  starts_.push_back(start);
+  admission.admitted = true;
+  admission.wait = start - arrival;
+  admission.start = start;
+  admission.slot = static_cast<std::size_t>(slot_it - busy_until_.begin());
+  // Claim the slot from the service start; complete() extends the claim to
+  // the true completion once the handler's service time is known.
+  *slot_it = start;
+  return admission;
+}
+
+void ServiceQueue::complete(const QueueAdmission& admission,
+                            Duration completion) {
+  if (!admission.admitted || admission.slot >= busy_until_.size()) return;
+  if (completion < admission.start) completion = admission.start;
+  busy_until_[admission.slot] = completion;
+  counters_.busy_ns +=
+      static_cast<std::uint64_t>((completion - admission.start).nanos());
+}
+
+}  // namespace zh::simtime

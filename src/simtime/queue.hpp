@@ -1,0 +1,132 @@
+// Authoritative-side (and resolver-side) service queueing: the missing half
+// of the CVE-2023-50868 DoS story.
+//
+// The service model alone charges each probe its own hash cost in
+// isolation; a real authoritative server or validating resolver has a
+// bounded worker pool, so concurrent requests *contend* — waiting time
+// grows with the backlog, and a saturated server sheds load (drops the
+// query or answers SERVFAIL). That contention is what turns high NSEC3
+// iteration counts into a CPU-amplification DoS vector (§2.3, §6 of the
+// paper; KeyTrap-adjacent): the attacker's cheap queries occupy expensive
+// service slots and every bystander behind them pays the queueing delay.
+//
+// QueueModel is the configuration (N worker slots, FIFO backlog depth
+// bound, shed policy); ServiceQueue is the per-destination discrete-event
+// state a simnet::Network keeps while the model is active. Service time
+// itself still comes from the existing ServiceModel (SHA-1 block deltas):
+// the queue only decides *when* service starts and what happens when no
+// slot or backlog position is free.
+//
+// Determinism contract (see docs/DETERMINISM.md): admissions are a pure
+// function of the request's virtual arrival time and the queue's prior
+// admissions within the current epoch. Queues are per-Network (strictly
+// single-threaded), and Network::set_flow() starts a fresh queue epoch, so
+// contention is scoped to one campaign item — per-item observations never
+// depend on worker interleaving and sharded campaigns stay bit-identical
+// for any --jobs value. Deliberately concurrent clients (the DoS benches)
+// join one epoch via simnet::concurrent_exchange.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "simtime/simtime.hpp"
+
+namespace zh::simtime {
+
+/// Configuration of one service queue. The default (0 workers) is
+/// inactive: no queue state is kept and delivery behaviour is byte-
+/// identical to the queueless network.
+struct QueueModel {
+  /// What a saturated queue does with a request it cannot hold.
+  enum class Shed {
+    /// Silently drop it — the client observes a timeout, exactly like a
+    /// lost UDP datagram (the common authoritative-server overload mode).
+    kDrop,
+    /// Answer SERVFAIL immediately, marked transient with RFC 8914 EDE 23
+    /// (Network Error) when the query carried EDNS — the resolver-vendor
+    /// overload mode; clients may retry.
+    kServfail,
+  };
+
+  /// Parallel service slots (0 disables the model entirely).
+  unsigned workers = 0;
+  /// FIFO backlog bound: a request that would have to wait while `backlog`
+  /// earlier admissions are already waiting is shed instead.
+  std::size_t backlog = 64;
+  Shed shed = Shed::kDrop;
+
+  constexpr bool active() const noexcept { return workers > 0; }
+};
+
+/// Outcome of asking a queue to admit one request.
+struct QueueAdmission {
+  bool admitted = false;
+  /// Virtual time the request spends in the backlog before service begins.
+  Duration wait;
+  /// When service begins (arrival + wait).
+  Duration start;
+  /// The worker slot that will serve it (valid when admitted).
+  std::size_t slot = 0;
+};
+
+/// Monotone counters a queue (or a Network, summed over queues) exposes
+/// for the campaign/sweep statistics and the DoS benches.
+struct QueueCounters {
+  std::uint64_t admitted = 0;       // requests that entered service
+  std::uint64_t delayed = 0;        // admitted with a non-zero wait
+  std::uint64_t dropped = 0;        // shed (either policy)
+  std::uint64_t wait_ns = 0;        // total backlog waiting time
+  std::uint64_t busy_ns = 0;        // total slot-occupied service time
+  std::uint64_t max_backlog = 0;    // deepest simultaneous backlog observed
+
+  void merge(const QueueCounters& other) noexcept {
+    admitted += other.admitted;
+    delayed += other.delayed;
+    dropped += other.dropped;
+    wait_ns += other.wait_ns;
+    busy_ns += other.busy_ns;
+    if (other.max_backlog > max_backlog) max_backlog = other.max_backlog;
+  }
+
+  /// Fraction of slot capacity consumed over `span` with `workers` slots.
+  double utilisation(Duration span, unsigned workers) const noexcept {
+    if (span.nanos() <= 0 || workers == 0) return 0.0;
+    return static_cast<double>(busy_ns) /
+           (static_cast<double>(span.nanos()) * workers);
+  }
+};
+
+/// The discrete-event queue state for one destination. One instance per
+/// (Network, destination, epoch); Network::set_flow() discards the state,
+/// which is what scopes contention to a campaign item.
+class ServiceQueue {
+ public:
+  explicit ServiceQueue(const QueueModel& model);
+
+  /// Decides the fate of a request arriving at virtual time `arrival`:
+  /// admitted (possibly after a FIFO wait for the earliest-free slot) or
+  /// shed because `backlog` earlier admissions are already waiting. Pure
+  /// function of (arrival, prior admissions this epoch).
+  QueueAdmission admit(Duration arrival);
+
+  /// Releases the admission's slot at `completion` (service end) and
+  /// accounts the busy time. Must be the matching admit()'s result.
+  void complete(const QueueAdmission& admission, Duration completion);
+
+  const QueueCounters& counters() const noexcept { return counters_; }
+  const QueueModel& model() const noexcept { return model_; }
+
+ private:
+  QueueModel model_;
+  /// Per-slot time the worker becomes free (service start until complete()
+  /// overwrites it with the true completion).
+  std::vector<Duration> busy_until_;
+  /// Service-start times of every admission this epoch, in admission
+  /// order; the backlog at an arrival is the count of starts after it.
+  std::vector<Duration> starts_;
+  QueueCounters counters_;
+};
+
+}  // namespace zh::simtime

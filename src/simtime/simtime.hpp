@@ -100,6 +100,12 @@ class Clock {
   constexpr void advance(Duration by) noexcept { now_ += by; }
   constexpr void reset() noexcept { now_ = Duration{}; }
 
+  /// Moves the clock to an absolute instant — including backwards. Only
+  /// for drivers that multiplex several logical client timelines over one
+  /// network (simnet::concurrent_exchange rewinds to the batch epoch
+  /// between clients); everything else should advance().
+  constexpr void set(Duration to) noexcept { now_ = to; }
+
  private:
   Duration now_;
 };

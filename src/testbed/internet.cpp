@@ -355,6 +355,7 @@ std::unique_ptr<resolver::RecursiveResolver> Internet::make_resolver(
   auto r = std::make_unique<resolver::RecursiveResolver>(
       network_, std::move(config), root_server_addresses_);
   r->attach();
+  if (profile.queue) network_.set_queue(address, *profile.queue);
   return r;
 }
 

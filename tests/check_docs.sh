@@ -1,0 +1,61 @@
+#!/bin/sh
+# Documentation consistency checks (registered in ctest and run as the CI
+# docs job):
+#   1. every intra-repo markdown link resolves to an existing file;
+#   2. every bench_* target registered in bench/CMakeLists.txt has a row
+#      in docs/BENCHMARKS.md.
+# Exits non-zero with one line per violation.
+set -u
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root" || exit 1
+
+status=0
+
+# --- 1. intra-repo markdown links ---------------------------------------
+# Markdown files under version-controlled docs locations (skip build dirs
+# and third-party trees; PAPERS.md is a verbatim retrieval artifact whose
+# extraction left dangling image refs we do not own).
+md_files=$(find . -name '*.md' \
+  -not -path './build*' -not -path './.git/*' -not -path '*/third_party/*' \
+  -not -name 'PAPERS.md')
+
+for md in $md_files; do
+  dir=$(dirname -- "$md")
+  # Inline links: capture the (target) of [text](target). One per line;
+  # tolerate several links per source line.
+  links=$(grep -o '\[[^]]*\]([^)]*)' "$md" 2>/dev/null |
+    sed 's/^\[[^]]*\](//; s/)$//')
+  [ -n "$links" ] || continue
+  for link in $links; do
+    case $link in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    target=${link%%#*}       # strip fragment
+    [ -n "$target" ] || continue
+    if [ ! -e "$dir/$target" ] && [ ! -e "$target" ]; then
+      echo "BROKEN LINK: $md -> $link"
+      status=1
+    fi
+  done
+done
+
+# --- 2. bench coverage in docs/BENCHMARKS.md ----------------------------
+benches=$(grep -o 'zh_add_bench([a-z0-9_]*' bench/CMakeLists.txt |
+  sed 's/zh_add_bench(//')
+if [ -z "$benches" ]; then
+  echo "NO BENCH TARGETS FOUND in bench/CMakeLists.txt (check the parser)"
+  status=1
+fi
+for bench in $benches; do
+  if ! grep -q "\`$bench\`" docs/BENCHMARKS.md; then
+    echo "UNDOCUMENTED BENCH: $bench missing from docs/BENCHMARKS.md"
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "check_docs: all markdown links resolve;" \
+       "all $(echo "$benches" | wc -l | tr -d ' ') bench targets documented."
+fi
+exit "$status"

@@ -49,6 +49,8 @@ void expect_same_stats(const DomainCampaignStats& a,
   expect_same_classification(a, b);
   EXPECT_EQ(a.scan_latency_us.histogram(), b.scan_latency_us.histogram());
   EXPECT_EQ(a.timeouts, b.timeouts);
+  EXPECT_EQ(a.queue_delay_us.histogram(), b.queue_delay_us.histogram());
+  EXPECT_EQ(a.queue_drops, b.queue_drops);
 }
 
 void expect_same_sweep(const ResolverSweepStats& a,
@@ -75,6 +77,8 @@ void expect_same_sweep(const ResolverSweepStats& a,
   EXPECT_EQ(a.probe_latency_us.histogram(), b.probe_latency_us.histogram());
   EXPECT_EQ(a.timeouts, b.timeouts);
   EXPECT_EQ(a.stop_answering, b.stop_answering);
+  EXPECT_EQ(a.queue_delay_us.histogram(), b.queue_delay_us.histogram());
+  EXPECT_EQ(a.queue_drops, b.queue_drops);
 }
 
 // ISSUE acceptance: --jobs 1 and --jobs 8 produce identical
@@ -253,6 +257,36 @@ TEST(ParallelCampaign, TimeShapedCampaignIsJobsInvariant) {
     sharded.limit = 400;
     const ParallelCampaignResult run =
         run_domain_campaign_parallel(spec, factory, sharded);
+    SCOPED_TRACE(jobs);
+    expect_same_stats(baseline.stats, run.stats);
+    EXPECT_EQ(baseline.queries_issued, run.queries_issued);
+  }
+}
+
+// Queueing on top of the full time-shaped stack must not break jobs-
+// invariance: queue epochs are flow-scoped (Network::set_flow starts a
+// fresh epoch), so per-item waits are a pure function of the item and the
+// queue statistics merge like every other aggregate.
+TEST(ParallelCampaign, QueueEnabledCampaignIsJobsInvariant) {
+  const workload::EcosystemSpec spec({.scale = 0.00002, .seed = 42});
+  const auto factory = default_world_factory(spec);
+
+  const auto queued_options = [](unsigned jobs) {
+    ParallelOptions options = time_shaped_options(jobs);
+    options.limit = 400;
+    options.queue = {.workers = 2,
+                     .backlog = 8,
+                     .shed = simtime::QueueModel::Shed::kServfail};
+    return options;
+  };
+  const ParallelCampaignResult baseline =
+      run_domain_campaign_parallel(spec, factory, queued_options(1));
+  EXPECT_GT(baseline.stats.scan_latency_us.total(), 0u);
+  EXPECT_GT(baseline.stats.queue_delay_us.total(), 0u);
+
+  for (const unsigned jobs : {4u, 16u}) {
+    const ParallelCampaignResult run =
+        run_domain_campaign_parallel(spec, factory, queued_options(jobs));
     SCOPED_TRACE(jobs);
     expect_same_stats(baseline.stats, run.stats);
     EXPECT_EQ(baseline.queries_issued, run.queries_issued);

@@ -1,0 +1,320 @@
+// Unit tests for the service-queue layer (simtime/queue.hpp): FIFO
+// ordering under virtual time, the backlog bound and shedding policies,
+// utilisation accounting, and the Network integration — including the two
+// invariants the determinism contract rests on (an inactive model changes
+// nothing; a single sequential client never waits).
+#include <gtest/gtest.h>
+
+#include "resolver/policy.hpp"
+#include "simnet/batch.hpp"
+#include "simnet/exchange.hpp"
+#include "simnet/network.hpp"
+#include "simtime/queue.hpp"
+#include "simtime/simtime.hpp"
+#include "testbed/internet.hpp"
+
+namespace zh::simtime {
+namespace {
+
+using dns::Message;
+using dns::Name;
+using dns::RrType;
+using simnet::IpAddress;
+
+Duration ms(std::int64_t v) { return Duration::from_ms(v); }
+
+TEST(ServiceQueue, SingleWorkerServesFifo) {
+  ServiceQueue queue({.workers = 1, .backlog = 64});
+  // Three requests arrive at the same instant; each takes 10 ms to serve.
+  const QueueAdmission first = queue.admit(ms(0));
+  EXPECT_TRUE(first.admitted);
+  EXPECT_TRUE(first.wait.zero());
+  queue.complete(first, ms(10));
+
+  const QueueAdmission second = queue.admit(ms(0));
+  EXPECT_TRUE(second.admitted);
+  EXPECT_EQ(second.wait, ms(10));
+  EXPECT_EQ(second.start, ms(10));
+  queue.complete(second, ms(20));
+
+  const QueueAdmission third = queue.admit(ms(0));
+  EXPECT_TRUE(third.admitted);
+  EXPECT_EQ(third.wait, ms(20));
+  queue.complete(third, ms(30));
+
+  EXPECT_EQ(queue.counters().admitted, 3u);
+  EXPECT_EQ(queue.counters().delayed, 2u);
+  EXPECT_EQ(queue.counters().dropped, 0u);
+  EXPECT_EQ(queue.counters().wait_ns,
+            static_cast<std::uint64_t>((ms(10) + ms(20)).nanos()));
+  EXPECT_EQ(queue.counters().max_backlog, 2u);
+}
+
+TEST(ServiceQueue, SecondWorkerAbsorbsTheOverlap) {
+  ServiceQueue queue({.workers = 2, .backlog = 64});
+  const QueueAdmission first = queue.admit(ms(0));
+  queue.complete(first, ms(10));
+  const QueueAdmission second = queue.admit(ms(0));
+  EXPECT_TRUE(second.admitted);
+  EXPECT_TRUE(second.wait.zero());
+  EXPECT_NE(second.slot, first.slot);
+  queue.complete(second, ms(10));
+  EXPECT_EQ(queue.counters().delayed, 0u);
+}
+
+TEST(ServiceQueue, LateArrivalFindsTheQueueDrained) {
+  ServiceQueue queue({.workers = 1, .backlog = 64});
+  queue.complete(queue.admit(ms(0)), ms(10));
+  const QueueAdmission late = queue.admit(ms(25));
+  EXPECT_TRUE(late.admitted);
+  EXPECT_TRUE(late.wait.zero());
+  EXPECT_EQ(late.start, ms(25));
+}
+
+TEST(ServiceQueue, BacklogBoundSheds) {
+  ServiceQueue queue({.workers = 1, .backlog = 2});
+  queue.complete(queue.admit(ms(0)), ms(10));
+  queue.complete(queue.admit(ms(0)), ms(20));  // waiting: 1
+  queue.complete(queue.admit(ms(0)), ms(30));  // waiting: 2 — at the bound
+  const QueueAdmission shed = queue.admit(ms(0));
+  EXPECT_FALSE(shed.admitted);
+  EXPECT_EQ(queue.counters().admitted, 3u);
+  EXPECT_EQ(queue.counters().dropped, 1u);
+  // A zero-backlog queue sheds as soon as a request would wait at all.
+  ServiceQueue strict({.workers = 1, .backlog = 0});
+  strict.complete(strict.admit(ms(0)), ms(10));
+  EXPECT_FALSE(strict.admit(ms(5)).admitted);
+  EXPECT_TRUE(strict.admit(ms(10)).admitted);
+}
+
+TEST(ServiceQueue, UtilisationAccounting) {
+  ServiceQueue queue({.workers = 2, .backlog = 64});
+  queue.complete(queue.admit(ms(0)), ms(10));
+  queue.complete(queue.admit(ms(0)), ms(30));
+  // 10 + 30 ms of busy slot time over a 40 ms span with 2 workers = 50 %.
+  EXPECT_EQ(queue.counters().busy_ns,
+            static_cast<std::uint64_t>(ms(40).nanos()));
+  EXPECT_DOUBLE_EQ(queue.counters().utilisation(ms(40), 2), 0.5);
+  EXPECT_DOUBLE_EQ(QueueCounters{}.utilisation(ms(0), 2), 0.0);
+  EXPECT_DOUBLE_EQ(QueueCounters{}.utilisation(ms(40), 0), 0.0);
+}
+
+TEST(ServiceQueue, CountersMerge) {
+  QueueCounters a{.admitted = 2, .delayed = 1, .dropped = 3,
+                  .wait_ns = 100, .busy_ns = 200, .max_backlog = 4};
+  const QueueCounters b{.admitted = 5, .delayed = 2, .dropped = 1,
+                        .wait_ns = 50, .busy_ns = 25, .max_backlog = 2};
+  a.merge(b);
+  EXPECT_EQ(a.admitted, 7u);
+  EXPECT_EQ(a.delayed, 3u);
+  EXPECT_EQ(a.dropped, 4u);
+  EXPECT_EQ(a.wait_ns, 150u);
+  EXPECT_EQ(a.busy_ns, 225u);
+  EXPECT_EQ(a.max_backlog, 4u);
+}
+
+// --- Network integration -------------------------------------------------
+
+const IpAddress kServer = IpAddress::v4(192, 0, 2, 1);
+const IpAddress kClient = IpAddress::v4(203, 0, 113, 9);
+
+Message query_for(std::uint16_t id) {
+  return Message::make_query(id, Name::must_parse("example.com"), RrType::kA);
+}
+
+/// A server whose handler occupies the node for `service` of virtual time
+/// (the clock-advance stands in for hash work — only occupancy matters to
+/// the queue).
+void attach_slow_server(simnet::Network& network, Duration service) {
+  network.attach(kServer, [&network, service](const Message& q,
+                                              const IpAddress&) {
+    network.clock().advance(service);
+    return std::make_optional(Message::make_response(q));
+  });
+}
+
+TEST(NetworkQueue, InactiveModelKeepsEverythingUntouched) {
+  simnet::Network plain;
+  simnet::Network configured;
+  attach_slow_server(plain, ms(10));
+  attach_slow_server(configured, ms(10));
+  configured.set_queue_model({});  // explicit no-op
+  EXPECT_FALSE(plain.queueing_active());
+  EXPECT_FALSE(configured.queueing_active());
+
+  for (std::uint16_t id = 1; id <= 5; ++id) {
+    const auto a = plain.send(kClient, kServer, query_for(id));
+    const auto b = configured.send(kClient, kServer, query_for(id));
+    ASSERT_TRUE(a && b);
+    EXPECT_EQ(a->to_wire(), b->to_wire());
+    EXPECT_EQ(plain.last_elapsed(), configured.last_elapsed());
+  }
+  EXPECT_EQ(configured.queue_counters().admitted, 0u);
+  EXPECT_EQ(configured.queue_counters().dropped, 0u);
+  EXPECT_EQ(plain.clock().now(), configured.clock().now());
+}
+
+TEST(NetworkQueue, SequentialClientNeverWaits) {
+  simnet::Network network;
+  attach_slow_server(network, ms(10));
+  network.set_queue_model({.workers = 1, .backlog = 0});
+  // One timeline: each send starts after the previous completed, so even a
+  // one-worker zero-backlog queue never delays or sheds anything. This is
+  // the golden-equivalence property: campaigns that never rewind the clock
+  // observe identical behaviour with queueing on.
+  for (std::uint16_t id = 1; id <= 4; ++id) {
+    network.set_flow(fnv1a("item-" + std::to_string(id)));
+    const auto response = network.send(kClient, kServer, query_for(id));
+    ASSERT_TRUE(response);
+    EXPECT_EQ(network.last_elapsed(), ms(10));
+  }
+  EXPECT_EQ(network.queue_counters().admitted, 4u);
+  EXPECT_EQ(network.queue_counters().delayed, 0u);
+  EXPECT_EQ(network.queue_counters().dropped, 0u);
+  EXPECT_EQ(network.queue_counters().wait_ns, 0u);
+}
+
+TEST(NetworkQueue, ConcurrentClientsContendAndWaitsGrowMonotonically) {
+  simnet::Network network;
+  attach_slow_server(network, ms(10));
+  network.set_queue_model({.workers = 1, .backlog = 64});
+
+  std::vector<simnet::BatchClient> clients;
+  for (unsigned i = 0; i < 4; ++i) {
+    simnet::BatchClient client;
+    client.source = kClient;
+    client.query = query_for(static_cast<std::uint16_t>(1 + i));
+    client.flow = fnv1a("batch-" + std::to_string(i));
+    client.offset = Duration{};  // simultaneous arrivals
+    clients.push_back(std::move(client));
+  }
+  const simnet::BatchResult batch =
+      simnet::concurrent_exchange(network, kServer, clients);
+  ASSERT_EQ(batch.outcomes.size(), 4u);
+  for (unsigned i = 0; i < 4; ++i) {
+    ASSERT_TRUE(batch.outcomes[i].response) << i;
+    EXPECT_EQ(batch.queue_waits[i], ms(10) * static_cast<std::int64_t>(i));
+    EXPECT_EQ(batch.outcomes[i].elapsed, ms(10) * (1 + i));
+  }
+  EXPECT_EQ(batch.makespan, ms(40));
+  EXPECT_EQ(network.clock().now(), ms(40));
+  EXPECT_EQ(network.queue_counters().delayed, 3u);
+  EXPECT_DOUBLE_EQ(network.queue_counters().utilisation(batch.makespan, 1),
+                   1.0);
+}
+
+TEST(NetworkQueue, ServfailShedIsTransientWithEde23) {
+  simnet::Network network;
+  attach_slow_server(network, ms(10));
+  network.set_queue_model({.workers = 1,
+                           .backlog = 0,
+                           .shed = QueueModel::Shed::kServfail});
+  std::vector<simnet::BatchClient> clients(2);
+  for (unsigned i = 0; i < 2; ++i) {
+    clients[i].source = kClient;
+    clients[i].query = query_for(static_cast<std::uint16_t>(1 + i));
+    clients[i].flow = fnv1a("sf-" + std::to_string(i));
+  }
+  // No retries: surface the shed answer instead of re-asking past it.
+  const RetryPolicy no_retry{.attempts = 1};
+  const simnet::BatchResult batch =
+      simnet::concurrent_exchange(network, kServer, clients, no_retry);
+  ASSERT_TRUE(batch.outcomes[0].response);
+  EXPECT_EQ(batch.outcomes[0].response->header.rcode, dns::Rcode::kNoError);
+  ASSERT_TRUE(batch.outcomes[1].response);
+  EXPECT_EQ(batch.outcomes[1].response->header.rcode, dns::Rcode::kServFail);
+  EXPECT_TRUE(simnet::transient_servfail(*batch.outcomes[1].response));
+  EXPECT_EQ(batch.queue_drops[1], 1u);
+  EXPECT_EQ(network.queue_counters().dropped, 1u);
+}
+
+TEST(NetworkQueue, DropShedLooksLikeLossAndRetransmissionRecovers) {
+  simnet::Network network;
+  attach_slow_server(network, ms(10));
+  network.set_queue_model(
+      {.workers = 1, .backlog = 0, .shed = QueueModel::Shed::kDrop});
+  std::vector<simnet::BatchClient> clients(2);
+  for (unsigned i = 0; i < 2; ++i) {
+    clients[i].source = kClient;
+    clients[i].query = query_for(static_cast<std::uint16_t>(1 + i));
+    clients[i].flow = fnv1a("drop-" + std::to_string(i));
+  }
+  const RetryPolicy retry{.attempts = 2, .timeout = ms(50)};
+  const simnet::BatchResult batch =
+      simnet::concurrent_exchange(network, kServer, clients, retry);
+  // The second client's first attempt is shed; its retransmission 50 ms
+  // later finds the queue drained and succeeds.
+  ASSERT_TRUE(batch.outcomes[1].response);
+  EXPECT_EQ(batch.outcomes[1].attempts, 2u);
+  EXPECT_EQ(batch.outcomes[1].elapsed, ms(50) + ms(10));
+  EXPECT_EQ(batch.queue_drops[1], 1u);
+  // Without the retry budget the shed becomes a first-class timeout.
+  network.set_flow(fnv1a("drop-timeout"));
+  simnet::BatchClient lone;
+  lone.source = kClient;
+  lone.query = query_for(9);
+  lone.flow = fnv1a("drop-t-0");
+  simnet::BatchClient blocked = lone;
+  blocked.query = query_for(10);
+  blocked.flow = fnv1a("drop-t-1");
+  const simnet::BatchResult strict = simnet::concurrent_exchange(
+      network, kServer, {lone, blocked}, RetryPolicy{.attempts = 1});
+  EXPECT_FALSE(strict.outcomes[1].response);
+  EXPECT_TRUE(strict.outcomes[1].timed_out);
+}
+
+TEST(NetworkQueue, SetFlowStartsAFreshEpochUnlessJoined) {
+  simnet::Network network;
+  attach_slow_server(network, ms(10));
+  network.set_queue_model({.workers = 1, .backlog = 64});
+  network.set_flow(fnv1a("first"));
+  ASSERT_TRUE(network.send(kClient, kServer, query_for(1)));
+  // Same epoch, rewound clock: the second send contends with the first.
+  network.clock().set(Duration{});
+  network.set_flow(fnv1a("second"), simnet::Network::QueueEpoch::kJoin);
+  ASSERT_TRUE(network.send(kClient, kServer, query_for(2)));
+  EXPECT_EQ(network.queue_counters().delayed, 1u);
+  // A default set_flow ends the epoch: the same rewind no longer waits.
+  network.clock().set(Duration{});
+  network.set_flow(fnv1a("third"));
+  ASSERT_TRUE(network.send(kClient, kServer, query_for(3)));
+  EXPECT_EQ(network.queue_counters().delayed, 1u);
+}
+
+TEST(NetworkQueue, PerDestinationOverrideWinsAndCanExempt) {
+  simnet::Network network;
+  attach_slow_server(network, ms(10));
+  const IpAddress other = IpAddress::v4(192, 0, 2, 2);
+  network.attach(other, [](const Message& q, const IpAddress&) {
+    return std::make_optional(Message::make_response(q));
+  });
+  // Default active everywhere; `other` exempted by an inactive override.
+  network.set_queue_model({.workers = 1, .backlog = 64});
+  network.set_queue(other, {});
+  EXPECT_TRUE(network.queueing_active());
+  ASSERT_TRUE(network.send(kClient, kServer, query_for(1)));
+  ASSERT_TRUE(network.send(kClient, other, query_for(2)));
+  EXPECT_EQ(network.queue_counters().admitted, 1u);
+}
+
+TEST(NetworkQueue, ResolverProfileInstallsItsQueue) {
+  testbed::Internet internet;
+  (void)testbed::add_probe_infrastructure(internet);
+  internet.build();
+  resolver::ResolverProfile profile = resolver::ResolverProfile::permissive();
+  profile.queue = QueueModel{.workers = 4, .backlog = 32};
+  const auto victim =
+      internet.make_resolver(profile, IpAddress::v4(10, 66, 0, 1));
+  EXPECT_TRUE(internet.network().queueing_active());
+  EXPECT_EQ(internet.network().queue_model().workers, 0u);  // only override
+  // A queueless profile must leave the network queue-free.
+  testbed::Internet plain;
+  (void)testbed::add_probe_infrastructure(plain);
+  plain.build();
+  const auto queueless = plain.make_resolver(
+      resolver::ResolverProfile::permissive(), IpAddress::v4(10, 66, 0, 2));
+  EXPECT_FALSE(plain.network().queueing_active());
+}
+
+}  // namespace
+}  // namespace zh::simtime
