@@ -11,6 +11,8 @@
 //   ZH_TIMEOUT_MS      first attempt timeout in ms (also --timeout MS)
 //   ZH_LATENCY_MS      base link RTT in ms (also --latency MS)
 //   ZH_JITTER_MS       uniform RTT jitter in ms (also --jitter MS)
+//   ZH_TRACE           trace output file (also --trace FILE; enables tracing)
+//   ZH_TRACE_FORMAT    jsonl | chrome (also --trace-format F; default jsonl)
 #pragma once
 
 #include <chrono>
@@ -25,6 +27,7 @@
 #include "simtime/latency.hpp"
 #include "simtime/simtime.hpp"
 #include "testbed/internet.hpp"
+#include "trace/export.hpp"
 #include "workload/install.hpp"
 #include "workload/resolver_population.hpp"
 
@@ -47,6 +50,8 @@ inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
 ///   --timeout MS                first attempt timeout in milliseconds
 ///   --latency MS                base link RTT in milliseconds
 ///   --jitter MS                 uniform RTT jitter in milliseconds
+///   --trace FILE                write the merged event trace to FILE
+///   --trace-format F            jsonl (default) or chrome
 /// Unknown flags are ignored, so benches can add their own on top.
 struct BenchFlags {
   unsigned jobs = 1;
@@ -54,11 +59,15 @@ struct BenchFlags {
   simtime::RetryPolicy retry{};
   double latency_ms = 0.0;
   double jitter_ms = 0.0;
+  std::string trace_path;
+  trace::Format trace_format = trace::Format::kJsonl;
 
   /// True when any flag moves virtual time (loss forces timeout waits).
   bool time_shaped() const noexcept {
     return loss > 0.0 || latency_ms > 0.0 || jitter_ms > 0.0;
   }
+
+  bool trace_enabled() const noexcept { return !trace_path.empty(); }
 
   simtime::LatencyModel latency_model(std::uint64_t seed) const {
     if (latency_ms <= 0.0 && jitter_ms <= 0.0) return {};
@@ -76,6 +85,7 @@ struct BenchFlags {
     options.loss_probability = loss;
     options.retry = retry;
     options.latency = latency_model(options.base_seed);
+    options.trace.enabled = trace_enabled();
   }
 };
 
@@ -94,6 +104,11 @@ inline BenchFlags parse_flags(int argc, char** argv) {
               static_cast<std::uint64_t>(flags.retry.timeout.millis()))));
   flags.latency_ms = env_double("ZH_LATENCY_MS", 0.0);
   flags.jitter_ms = env_double("ZH_JITTER_MS", 0.0);
+  if (const char* path = std::getenv("ZH_TRACE")) flags.trace_path = path;
+  if (const char* format = std::getenv("ZH_TRACE_FORMAT")) {
+    if (const auto parsed = trace::parse_format(format))
+      flags.trace_format = *parsed;
+  }
 
   // `--flag V` / `--flag=V`: returns the value string, or nullptr.
   const auto value_of = [&](int& i, const char* name) -> const char* {
@@ -120,6 +135,15 @@ inline BenchFlags parse_flags(int argc, char** argv) {
       flags.latency_ms = std::atof(v);
     } else if (const char* v = value_of(i, "--jitter")) {
       flags.jitter_ms = std::atof(v);
+    } else if (const char* v = value_of(i, "--trace-format")) {
+      if (const auto parsed = trace::parse_format(v)) {
+        flags.trace_format = *parsed;
+      } else {
+        std::fprintf(stderr, "# unknown --trace-format '%s' (jsonl|chrome)\n",
+                     v);
+      }
+    } else if (const char* v = value_of(i, "--trace")) {
+      flags.trace_path = v;
     }
   }
   if (jobs < 0) jobs = 1;
@@ -131,6 +155,47 @@ inline BenchFlags parse_flags(int argc, char** argv) {
 /// Worker-thread count only (the historical entry point).
 inline unsigned parse_jobs(int argc, char** argv) {
   return parse_flags(argc, argv).jobs;
+}
+
+/// Writes the merged trace when --trace/ZH_TRACE asked for one, and prints
+/// a `#` summary comment. A no-op (no output at all) otherwise, so
+/// zero-config bench output stays byte-identical.
+inline void write_trace(const BenchFlags& flags,
+                        const trace::Collector& collector) {
+  if (!flags.trace_enabled()) return;
+  const bool ok = collector.write_file(flags.trace_path, flags.trace_format);
+  std::printf("# trace: %llu events (%llu emitted, %llu ring-dropped) from "
+              "%zu shard(s) %s %s (%s)\n",
+              static_cast<unsigned long long>(collector.event_count()),
+              static_cast<unsigned long long>(collector.events_emitted()),
+              static_cast<unsigned long long>(collector.events_lost()),
+              collector.shard_count(),
+              ok ? "written to" : "FAILED writing",
+              flags.trace_path.c_str(), trace::format_name(flags.trace_format));
+  for (const auto& [name, value] : collector.metrics())
+    std::printf("# trace metric %s = %llu\n", name.c_str(),
+                static_cast<unsigned long long>(value));
+}
+
+/// Prints the per-stage latency breakdown (p50/p99 µs per stage) when
+/// tracing was requested. Gated on the trace flag so zero-config output is
+/// untouched; stage Ecdfs are jobs-invariant (per-item deltas).
+inline void print_stage_breakdown(const BenchFlags& flags,
+                                  const analysis::Ecdf& resolve,
+                                  const analysis::Ecdf& recurse,
+                                  const analysis::Ecdf& validate,
+                                  const analysis::Ecdf& queue_wait) {
+  if (!flags.trace_enabled()) return;
+  const auto row = [](const char* stage, const analysis::Ecdf& ecdf) {
+    std::printf("# stage %-10s p50=%8lldus  p99=%8lldus  max=%8lldus\n", stage,
+                static_cast<long long>(ecdf.percentile(0.5)),
+                static_cast<long long>(ecdf.percentile(0.99)),
+                static_cast<long long>(ecdf.max()));
+  };
+  row("resolve", resolve);
+  row("recurse", recurse);
+  row("validate", validate);
+  row("queue-wait", queue_wait);
 }
 
 /// A fully built world: internet + population spec + probe zones + the

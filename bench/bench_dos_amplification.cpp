@@ -17,10 +17,19 @@
 // and --jobs only distributes *cells* over threads (each worker builds its
 // own world in-thread), so the table is bit-identical for any --jobs value.
 //
+// `--target operator` moves the victim to the authoritative side: a hosting
+// operator's PoP (testbed::Internet::set_operator_queue) serving one
+// NSEC3 zone at the cell's iteration count, with clients sending unique
+// NXDOMAIN queries (DO=1) straight at the PoP. Each negative answer costs
+// the server the closest-encloser/next-closer/wildcard NSEC3 hashes, so
+// the same iterations × concurrency contention plays out in the zone
+// owner's queue instead of the resolver's.
+//
 // Flags (bench_common.hpp vocabulary, plus bench-specific ones):
 //   --jobs N        worker threads over cells (default 1)
 //   --latency MS    base link RTT (default 1 ms; jitter defaults to 0)
 //   --retries/--timeout   client retry policy (zdns defaults)
+//   --target T      victim side: resolver (default) or operator
 //   --workers N     victim worker slots (default 2)
 //   --backlog N     victim backlog bound (default 16)
 //   --spacing-us U  arrival stagger between clients (default 250 µs)
@@ -47,6 +56,8 @@ struct Cell {
   unsigned clients = 0;
 };
 
+enum class Target { kResolver, kOperator };
+
 struct CellResult {
   double p50_wait_ms = 0.0;
   double p99_wait_ms = 0.0;
@@ -58,48 +69,77 @@ struct CellResult {
 };
 
 CellResult run_cell(const Cell& cell, const bench::BenchFlags& flags,
-                    const simtime::QueueModel& queue,
+                    const simtime::QueueModel& queue, Target target,
                     simtime::Duration spacing, std::uint64_t seed) {
   // A fresh world per cell: the resolver's aggressive NSEC3 negative cache
   // (RFC 8198) and the queue's counters must not leak across cells.
   testbed::Internet internet;
-  const auto probe_zones = testbed::add_probe_infrastructure(internet);
-  internet.build();
+  std::vector<testbed::ProbeZone> probe_zones;
+  std::unique_ptr<resolver::RecursiveResolver> victim_resolver;
+  simnet::IpAddress victim_addr;
+  dns::Name query_apex = dns::Name::root();
 
-  // The victim: a permissive validator (no iteration cut-off, no deadline —
-  // it validates even a 500-iteration proof in full) with a bounded worker
-  // pool, installed through the profile so the override path is exercised.
-  resolver::ResolverProfile profile = resolver::ResolverProfile::permissive();
-  profile.queue = queue;
-  const auto victim =
-      internet.make_resolver(profile, simnet::IpAddress::v4(10, 66, 0, 1));
+  if (target == Target::kResolver) {
+    probe_zones = testbed::add_probe_infrastructure(internet);
+    internet.build();
+
+    // The victim: a permissive validator (no iteration cut-off, no deadline
+    // — it validates even a 500-iteration proof in full) with a bounded
+    // worker pool, installed through the profile so the override path is
+    // exercised.
+    resolver::ResolverProfile profile =
+        resolver::ResolverProfile::permissive();
+    profile.queue = queue;
+    victim_resolver =
+        internet.make_resolver(profile, simnet::IpAddress::v4(10, 66, 0, 1));
+    victim_addr = victim_resolver->address();
+
+    const testbed::ProbeZone* zone = nullptr;
+    for (const auto& candidate : probe_zones) {
+      if (candidate.iterations == cell.iterations && !candidate.expired &&
+          !candidate.nsec3_expired) {
+        zone = &candidate;
+        break;
+      }
+    }
+    if (!zone) return {};
+    query_apex = zone->apex;
+  } else {
+    // The victim: a hosting operator's PoP with its own bounded worker
+    // pool (the testbed's authoritative-side queue override), serving one
+    // NSEC3 zone at the cell's iteration count. Clients hit the PoP
+    // directly, so every unique NXDOMAIN costs the *server* the denial
+    // hashes — no resolver in the path.
+    const std::size_t op = internet.add_operator("victim-op");
+    internet.set_operator_queue(op, queue);
+    testbed::DomainConfig config;
+    config.apex = dns::Name::must_parse("dos-victim.net");
+    config.nsec3 = {.iterations = cell.iterations, .salt = {},
+                    .opt_out = false};
+    config.host = internet.hosting_operator(op).address_v4;
+    internet.add_domain(config);
+    internet.build();
+    victim_addr = internet.hosting_operator(op).address_v4;
+    query_apex = config.apex;
+  }
 
   simnet::Network& network = internet.network();
   network.set_latency_model(flags.latency_model(seed));
   network.set_service_model({.per_sha1_block = simtime::Duration::from_us(1)});
-
-  const testbed::ProbeZone* zone = nullptr;
-  for (const auto& candidate : probe_zones) {
-    if (candidate.iterations == cell.iterations && !candidate.expired &&
-        !candidate.nsec3_expired) {
-      zone = &candidate;
-      break;
-    }
-  }
-  if (!zone) return {};
 
   char prefix[32];
   std::snprintf(prefix, sizeof prefix, "dos-%03u-%03u", cell.iterations,
                 cell.clients);
 
   // One warm-up probe so every batch client hits a warm root/TLD/DNSKEY
-  // cache and only the (unique-name) NXDOMAIN proof fetch remains.
-  {
+  // cache and only the (unique-name) NXDOMAIN proof fetch remains. The
+  // authoritative victim is stateless per query — nothing to warm.
+  if (target == Target::kResolver) {
     const std::string token = std::string(prefix) + "-warm";
     network.set_flow(simtime::fnv1a(token));
-    const auto qname = *zone->apex.prepended("nx")->prepended(token);
+    const auto qname = *query_apex.prepended("nx")->prepended(token);
     (void)simnet::exchange(
-        network, simnet::IpAddress::v4(203, 0, 113, 250), victim->address(),
+        network, simnet::IpAddress::v4(203, 0, 113, 250), victim_addr,
         dns::Message::make_query(1, qname, dns::RrType::kA,
                                  /*dnssec_ok=*/true),
         flags.retry);
@@ -113,7 +153,7 @@ CellResult run_cell(const Cell& cell, const bench::BenchFlags& flags,
     simnet::BatchClient client;
     client.source = simnet::IpAddress::v4(203, 0, 113,
                                           static_cast<std::uint8_t>(1 + i));
-    const auto qname = *zone->apex.prepended("nx")->prepended(token);
+    const auto qname = *query_apex.prepended("nx")->prepended(token);
     client.query = dns::Message::make_query(
         static_cast<std::uint16_t>(100 + i), qname, dns::RrType::kA,
         /*dnssec_ok=*/true);
@@ -124,7 +164,7 @@ CellResult run_cell(const Cell& cell, const bench::BenchFlags& flags,
 
   const simtime::QueueCounters before = network.queue_counters();
   const simnet::BatchResult batch = simnet::concurrent_exchange(
-      network, victim->address(), clients, flags.retry);
+      network, victim_addr, clients, flags.retry);
   const simtime::QueueCounters& after = network.queue_counters();
 
   analysis::Ecdf wait_us;
@@ -175,6 +215,7 @@ int main(int argc, char** argv) {
   queue.backlog = 16;
   queue.shed = simtime::QueueModel::Shed::kDrop;
   long spacing_us = 250;
+  Target target = Target::kResolver;
   for (int i = 1; i < argc; ++i) {
     const auto value_of = [&](const char* name) -> const char* {
       const std::size_t len = std::strlen(name);
@@ -189,6 +230,13 @@ int main(int argc, char** argv) {
       queue.backlog = static_cast<std::size_t>(std::atol(v));
     } else if (const char* v = value_of("--spacing-us")) {
       spacing_us = std::atol(v);
+    } else if (const char* v = value_of("--target")) {
+      if (std::strcmp(v, "operator") == 0) {
+        target = Target::kOperator;
+      } else if (std::strcmp(v, "resolver") != 0) {
+        std::fprintf(stderr, "# unknown --target '%s' (resolver|operator)\n",
+                     v);
+      }
     } else if (std::strcmp(argv[i], "--servfail") == 0) {
       queue.shed = simtime::QueueModel::Shed::kServfail;
     }
@@ -201,8 +249,10 @@ int main(int argc, char** argv) {
       cells.push_back({tier, k});
 
   std::printf(
-      "# victim: permissive validator, %u workers, backlog %zu, shed=%s\n"
+      "# victim: %s, %u workers, backlog %zu, shed=%s\n"
       "# link %.1f ms RTT, service 1 µs/SHA-1 block, arrivals every %ld µs\n",
+      target == Target::kResolver ? "permissive validator (resolver)"
+                                  : "hosting-operator PoP (authoritative)",
       queue.workers, queue.backlog,
       queue.shed == simtime::QueueModel::Shed::kDrop ? "drop" : "servfail",
       flags.latency_ms, spacing_us);
@@ -218,7 +268,7 @@ int main(int argc, char** argv) {
   const auto drain = [&] {
     for (std::size_t i = next.fetch_add(1); i < cells.size();
          i = next.fetch_add(1))
-      results[i] = run_cell(cells[i], flags, queue, spacing, seed);
+      results[i] = run_cell(cells[i], flags, queue, target, spacing, seed);
   };
   for (unsigned t = 1; t < jobs; ++t) workers.emplace_back(drain);
   drain();

@@ -37,6 +37,10 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(stats.scanned),
       static_cast<unsigned long long>(campaign.queries_issued), secs,
       campaign.jobs, scale);
+  bench::write_trace(flags, campaign.trace);
+  bench::print_stage_breakdown(flags, stats.stage_resolve_us,
+                               stats.stage_recurse_us, stats.stage_validate_us,
+                               stats.stage_queue_wait_us);
 
   analysis::print_ascii_cdf("Figure 1a: CDF of additional iterations "
                             "(NSEC3-enabled domains), x in [0,50]",

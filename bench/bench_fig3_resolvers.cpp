@@ -77,6 +77,16 @@ int main(int argc, char** argv) {
                 sweep.population,
                 static_cast<unsigned long long>(sweep.queries_issued), secs,
                 sweep.jobs);
+    // One trace file per panel (suffixed), since each sweep has its own
+    // shard set; the stage breakdown prints per panel too.
+    bench::BenchFlags panel_flags = flags;
+    if (flags.trace_enabled())
+      panel_flags.trace_path += "." + workload::to_string(panel);
+    bench::write_trace(panel_flags, sweep.trace);
+    bench::print_stage_breakdown(flags, stats.stage_resolve_us,
+                                 stats.stage_recurse_us,
+                                 stats.stage_validate_us,
+                                 stats.stage_queue_wait_us);
 
     if (const char* dir = std::getenv("ZH_OUTPUT_DIR")) {
       analysis::Table table(

@@ -28,6 +28,9 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(campaign.stats.scanned), secs,
               campaign.jobs);
   const auto& s = campaign.stats;
+  bench::write_trace(flags, campaign.trace);
+  bench::print_stage_breakdown(flags, s.stage_resolve_us, s.stage_recurse_us,
+                               s.stage_validate_us, s.stage_queue_wait_us);
 
   const double nsec3 = static_cast<double>(s.nsec3);
   analysis::print_comparison(

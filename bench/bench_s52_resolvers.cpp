@@ -36,7 +36,15 @@ int main(int argc, char** argv) {
     address_base += 1u << 20;
     all.merge(sweep.stats);
     validators_by_panel[p] = sweep.stats.validators;
+    // One trace file per panel (suffixed) — each sweep has its own shards.
+    bench::BenchFlags panel_flags = flags;
+    if (flags.trace_enabled())
+      panel_flags.trace_path += "." + workload::to_string(panels[p]);
+    bench::write_trace(panel_flags, sweep.trace);
   }
+  bench::print_stage_breakdown(flags, all.stage_resolve_us,
+                               all.stage_recurse_us, all.stage_validate_us,
+                               all.stage_queue_wait_us);
 
   const double v = static_cast<double>(all.validators);
   const auto limit_count = [&](const std::map<std::uint16_t, std::uint64_t>&

@@ -5,6 +5,7 @@
 #include "crypto/cost_meter.hpp"
 #include "crypto/signing.hpp"
 #include "simnet/exchange.hpp"
+#include "trace/trace.hpp"
 
 namespace zh::resolver {
 namespace {
@@ -71,7 +72,9 @@ RecursiveResolver::RecursiveResolver(simnet::Network& network, Config config,
                                      std::vector<simnet::IpAddress> root_servers)
     : network_(network),
       config_(std::move(config)),
-      root_servers_(std::move(root_servers)) {}
+      root_servers_(std::move(root_servers)),
+      cache_hit_metric_(
+          network.tracer().metrics().counter("resolver.cache_hit")) {}
 
 void RecursiveResolver::attach() {
   network_.attach(config_.address,
@@ -116,6 +119,12 @@ Message RecursiveResolver::handle(const Message& query,
   }
   const dns::Question& q = query.questions.front();
 
+  trace::Tracer& tracer = network_.tracer();
+  trace::Span query_span;
+  if (tracer.enabled())
+    query_span = tracer.span("resolver", "resolve",
+                             q.name.canonical().to_string());
+
   // CD (checking disabled): resolve without validating — the client takes
   // responsibility. Measurement tooling (zdns-style) relies on this to
   // retrieve records from bogus or limit-exceeding zones.
@@ -133,6 +142,7 @@ Message RecursiveResolver::handle(const Message& query,
       out = it->second;
       from_cache = true;
       ++stats_.cache_hits;
+      ++*cache_hit_metric_;
     }
   }
   if (!from_cache) {
@@ -162,6 +172,14 @@ Message RecursiveResolver::handle(const Message& query,
   stats_.last_query_sha1_blocks = total > served ? total - served : 0;
   stats_.last_query_nsec3_hashes =
       crypto::CostMeter::nsec3_hashes() - nsec3_before;
+  // Stage accounting: the whole query in virtual time, plus the service
+  // conversion of our own hash work (which the network only applies after
+  // this handler returns).
+  tracer.add_stage(
+      trace::Stage::kResolve,
+      (network_.clock().now() - query_start_ +
+       network_.service_model().cost(stats_.last_query_sha1_blocks))
+          .nanos());
 
   Message shaped = shape_response(query, out);
   cd_active_ = false;
@@ -296,6 +314,10 @@ std::optional<Message> RecursiveResolver::query_servers(
     const std::vector<simnet::IpAddress>& servers, const Name& qname,
     RrType qtype) {
   upstream_timeout_ = false;
+  // Everything below is upstream traffic: waits, retransmission backoff and
+  // nested deliveries all land in the recurse stage.
+  const trace::StageTimer recurse_timer(network_.tracer(),
+                                        trace::Stage::kRecurse);
   for (const auto& server : servers) {
     Message query = Message::make_query(next_id_++, qname, qtype,
                                         /*dnssec_ok=*/true,
@@ -470,6 +492,10 @@ RecursiveResolver::Outcome RecursiveResolver::resolve_internal(
 
   for (std::size_t step = 0; step < config_.max_depth; ++step) {
     if (deadline_exceeded()) return make_deadline_servfail();
+    trace::Span step_span;
+    if (network_.tracer().enabled())
+      step_span = network_.tracer().span("resolver", "step",
+                                         ctx.apex.canonical().to_string());
     const auto response = query_servers(ctx.servers, qname, qtype);
     if (!response) return make_transient_servfail();
     if (response->header.rcode != Rcode::kNoError &&
@@ -613,9 +639,26 @@ RecursiveResolver::Outcome RecursiveResolver::resolve_internal(
     // --- Final response ---
     Outcome out;
     if (validation_active() && ctx.security == Security::kSecure) {
-      out = response->answers.empty()
-                ? validate_negative(*response, qname, qtype, ctx)
-                : validate_positive(*response, qname, qtype, ctx);
+      trace::Tracer& tracer = network_.tracer();
+      const bool negative = response->answers.empty();
+      trace::Span validate_span;
+      if (tracer.enabled())
+        validate_span = tracer.span(
+            "resolver", negative ? "validate.negative" : "validate.positive");
+      // Validation is own hash work: it does not move the clock inside this
+      // handler (the network converts the SHA-1 delta to delay only after
+      // the handler returns), so the validate stage projects the cost the
+      // same way deadline_exceeded() does.
+      const std::uint64_t validate_sha1 = crypto::CostMeter::sha1_blocks();
+      const simtime::Duration validate_start = network_.clock().now();
+      out = negative ? validate_negative(*response, qname, qtype, ctx)
+                     : validate_positive(*response, qname, qtype, ctx);
+      tracer.add_stage(
+          trace::Stage::kValidate,
+          (network_.clock().now() - validate_start +
+           network_.service_model().cost(crypto::CostMeter::sha1_blocks() -
+                                         validate_sha1))
+              .nanos());
     } else {
       out.rcode = response->header.rcode;
       out.answers = response->answers;

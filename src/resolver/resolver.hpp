@@ -22,6 +22,7 @@
 #include "dns/message.hpp"
 #include "resolver/policy.hpp"
 #include "simnet/network.hpp"
+#include "trace/trace.hpp"
 #include "zone/signer.hpp"
 
 namespace zh::resolver {
@@ -216,6 +217,9 @@ class RecursiveResolver {
   simtime::Duration query_start_;
   std::uint64_t own_sha1_start_ = 0;
   std::uint64_t served_sha1_start_ = 0;
+  // Handle into the network tracer's metrics registry (registered once at
+  // construction; incrementing through it keeps the cache-hit path cheap).
+  trace::Metrics::Counter cache_hit_metric_;
 
   // Infrastructure cache: apex → validated zone context.
   std::unordered_map<dns::Name, ZoneContext, dns::NameHash> zone_cache_;

@@ -87,6 +87,8 @@ void DomainCampaign::run_shard(std::size_t shard, std::size_t shards,
     const workload::DomainProfile profile = spec_.domain(index);
     const simtime::QueueCounters queue_before =
         internet_.network().queue_counters();
+    const trace::StageTotals stages_before =
+        internet_.network().tracer().stages();
     const DomainScanResult result = scanner_.scan(profile.apex);
     const simtime::QueueCounters& queue_after =
         internet_.network().queue_counters();
@@ -97,6 +99,8 @@ void DomainCampaign::run_shard(std::size_t shard, std::size_t shards,
     stats_.queue_delay_us.add(static_cast<std::int64_t>(
         (queue_after.wait_ns - queue_before.wait_ns) / 1000));
     stats_.queue_drops += queue_after.dropped - queue_before.dropped;
+    stats_.add_stages(trace::stage_delta(
+        internet_.network().tracer().stages(), stages_before));
     CompactDomainRecord record;
     record.index = static_cast<std::uint32_t>(index);
     record.classification = result.classification;
@@ -162,6 +166,20 @@ void DomainCampaignStats::merge(const DomainCampaignStats& other) {
   timeouts += other.timeouts;
   queue_delay_us.merge(other.queue_delay_us);
   queue_drops += other.queue_drops;
+  stage_resolve_us.merge(other.stage_resolve_us);
+  stage_recurse_us.merge(other.stage_recurse_us);
+  stage_validate_us.merge(other.stage_validate_us);
+  stage_queue_wait_us.merge(other.stage_queue_wait_us);
+}
+
+void DomainCampaignStats::add_stages(const trace::StageTotals& delta_ns) {
+  const auto us = [&delta_ns](trace::Stage stage) {
+    return delta_ns[static_cast<std::size_t>(stage)] / 1000;
+  };
+  stage_resolve_us.add(us(trace::Stage::kResolve));
+  stage_recurse_us.add(us(trace::Stage::kRecurse));
+  stage_validate_us.add(us(trace::Stage::kValidate));
+  stage_queue_wait_us.add(us(trace::Stage::kQueueWait));
 }
 
 const CompactDomainRecord* DomainCampaign::record_for(
@@ -261,6 +279,20 @@ void ResolverSweepStats::merge(const ResolverSweepStats& other) {
   stop_answering += other.stop_answering;
   queue_delay_us.merge(other.queue_delay_us);
   queue_drops += other.queue_drops;
+  stage_resolve_us.merge(other.stage_resolve_us);
+  stage_recurse_us.merge(other.stage_recurse_us);
+  stage_validate_us.merge(other.stage_validate_us);
+  stage_queue_wait_us.merge(other.stage_queue_wait_us);
+}
+
+void ResolverSweepStats::add_stages(const trace::StageTotals& delta_ns) {
+  const auto us = [&delta_ns](trace::Stage stage) {
+    return delta_ns[static_cast<std::size_t>(stage)] / 1000;
+  };
+  stage_resolve_us.add(us(trace::Stage::kResolve));
+  stage_recurse_us.add(us(trace::Stage::kRecurse));
+  stage_validate_us.add(us(trace::Stage::kValidate));
+  stage_queue_wait_us.add(us(trace::Stage::kQueueWait));
 }
 
 }  // namespace zh::scanner

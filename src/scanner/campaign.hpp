@@ -12,6 +12,7 @@
 #include "scanner/domain_scanner.hpp"
 #include "scanner/resolver_prober.hpp"
 #include "testbed/internet.hpp"
+#include "trace/trace.hpp"
 #include "workload/spec.hpp"
 
 namespace zh::scanner {
@@ -62,9 +63,21 @@ struct DomainCampaignStats {
   /// Deliveries shed by a saturated queue during the campaign.
   std::uint64_t queue_drops = 0;
 
+  /// Per-scan virtual-time stage breakdown (see trace::Stage), in
+  /// microseconds. Stages overlap (resolve spans the whole query while the
+  /// others time its parts), so these are a breakdown, not a partition;
+  /// all zeros unless a latency/service model moves the clock.
+  analysis::Ecdf stage_resolve_us;
+  analysis::Ecdf stage_recurse_us;
+  analysis::Ecdf stage_validate_us;
+  analysis::Ecdf stage_queue_wait_us;
+
   /// Folds another shard's aggregates in. Commutative and associative, so
   /// per-shard stats merged in any order equal the unsharded campaign.
   void merge(const DomainCampaignStats& other);
+
+  /// Adds one scan's per-stage virtual-time deltas (nanoseconds).
+  void add_stages(const trace::StageTotals& delta_ns);
 };
 
 /// Runs the §4.1 pipeline over the synthetic population through a recursive
@@ -180,7 +193,17 @@ struct ResolverSweepStats {
   /// (timed out) above it — the paper's drop-above-limit cohort.
   std::uint64_t stop_answering = 0;
 
+  /// Per-probe virtual-time stage breakdown, in microseconds (see
+  /// DomainCampaignStats — same semantics, one sample per probed resolver).
+  analysis::Ecdf stage_resolve_us;
+  analysis::Ecdf stage_recurse_us;
+  analysis::Ecdf stage_validate_us;
+  analysis::Ecdf stage_queue_wait_us;
+
   void add(const ResolverProbeResult& result);
+
+  /// Adds one probe's per-stage virtual-time deltas (nanoseconds).
+  void add_stages(const trace::StageTotals& delta_ns);
 
   /// Folds another shard's sweep aggregates in (order-invariant).
   void merge(const ResolverSweepStats& other);

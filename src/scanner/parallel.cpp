@@ -108,6 +108,7 @@ ParallelCampaignResult run_domain_campaign_parallel(
     std::vector<CompactDomainRecord> records;
     std::uint64_t queries = 0;
     CostTally cost;
+    trace::ShardTrace trace;
   };
   std::vector<ShardOutcome> outcomes(jobs);
 
@@ -124,6 +125,7 @@ ParallelCampaignResult run_domain_campaign_parallel(
     world.internet->network().set_latency_model(options.latency);
     world.internet->network().set_service_model(options.service);
     world.internet->network().set_queue_model(options.queue);
+    world.internet->network().tracer().configure(options.trace);
     DomainCampaign campaign(*world.internet, spec,
                             world.scan_resolver->address(),
                             shard_source(shard), options.retry);
@@ -131,17 +133,20 @@ ParallelCampaignResult run_domain_campaign_parallel(
     out.stats = campaign.stats();
     out.records = campaign.records();
     out.queries = campaign.queries_issued();
+    out.trace = world.internet->network().tracer().take();
     out.cost = read_worker_cost();
   });
 
   ParallelCampaignResult result;
   result.jobs = jobs;
-  for (const ShardOutcome& out : outcomes) {
+  for (unsigned shard = 0; shard < jobs; ++shard) {
+    ShardOutcome& out = outcomes[shard];
     result.stats.merge(out.stats);
     result.records.insert(result.records.end(), out.records.begin(),
                           out.records.end());
     result.queries_issued += out.queries;
     accumulate(result.cost, out.cost);
+    result.trace.add_shard(shard, std::move(out.trace));
   }
   // Shards interleave by position; re-sorting by domain index restores the
   // serial scan order, making the record list K-invariant too.
@@ -164,6 +169,7 @@ ParallelSweepResult run_resolver_sweep_parallel(
     std::uint64_t queries = 0;
     std::size_t population = 0;
     CostTally cost;
+    trace::ShardTrace trace;
   };
   std::vector<ShardOutcome> outcomes(jobs);
 
@@ -177,6 +183,7 @@ ParallelSweepResult run_resolver_sweep_parallel(
     world.internet->network().set_latency_model(options.latency);
     world.internet->network().set_service_model(options.service);
     world.internet->network().set_queue_model(options.queue);
+    world.internet->network().tracer().configure(options.trace);
     // Every worker instantiates the full (identical) population; it only
     // probes its own members. Instantiation is cheap next to probing.
     workload::BuiltPopulation population = workload::instantiate_panel(
@@ -184,21 +191,28 @@ ParallelSweepResult run_resolver_sweep_parallel(
     ResolverProber prober(world.internet->network(), shard_source(shard),
                           world.probe_zones, options.retry);
     if (shard == 0) out.population = population.members.size();
+    trace::Tracer& tracer = world.internet->network().tracer();
     for (std::size_t j = shard; j < population.members.size(); j += jobs) {
+      const trace::StageTotals stages_before = tracer.stages();
       out.stats.add(prober.probe(population.members[j].address,
                                  token_prefix + std::to_string(j)));
+      out.stats.add_stages(
+          trace::stage_delta(tracer.stages(), stages_before));
     }
     out.queries = prober.queries_issued();
+    out.trace = tracer.take();
     out.cost = read_worker_cost();
   });
 
   ParallelSweepResult result;
   result.jobs = jobs;
-  for (const ShardOutcome& out : outcomes) {
+  for (unsigned shard = 0; shard < jobs; ++shard) {
+    ShardOutcome& out = outcomes[shard];
     result.stats.merge(out.stats);
     result.queries_issued += out.queries;
     result.population += out.population;
     accumulate(result.cost, out.cost);
+    result.trace.add_shard(shard, std::move(out.trace));
   }
   credit_caller(result.cost);
   return result;

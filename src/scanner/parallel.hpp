@@ -39,6 +39,7 @@
 #include "simtime/latency.hpp"
 #include "simtime/simtime.hpp"
 #include "testbed/internet.hpp"
+#include "trace/export.hpp"
 #include "workload/resolver_population.hpp"
 #include "workload/spec.hpp"
 
@@ -97,6 +98,13 @@ struct ParallelOptions {
   /// resets the live queue state — so per-item observations stay
   /// bit-identical for any jobs value even with queueing on.
   simtime::QueueModel queue{};
+  /// Event-tracing configuration applied to each worker's tracer (off by
+  /// default — see trace/trace.hpp). Per-shard buffers merge in shard
+  /// order into the result's Collector. Raw event streams are per-shard
+  /// artefacts: byte-identical for the same (seed, jobs), while the
+  /// *aggregated* quantities (stats, stage Ecdfs, per-item records) stay
+  /// bit-identical for any jobs value.
+  trace::Config trace{};
 };
 
 /// Hash work performed by the engine's workers (summed over shards).
@@ -113,6 +121,9 @@ struct ParallelCampaignResult {
   std::uint64_t queries_issued = 0;
   CostTally cost;
   unsigned jobs = 1;
+  /// Per-shard traces merged in shard order (empty unless options.trace
+  /// enabled event tracing; metrics are collected regardless).
+  trace::Collector trace;
 };
 
 /// Runs the §4.1 domain campaign sharded K ways. Statistics, records and
@@ -127,6 +138,8 @@ struct ParallelSweepResult {
   std::size_t population = 0;  // members probed (validators + filtered)
   CostTally cost;
   unsigned jobs = 1;
+  /// Per-shard traces merged in shard order (see ParallelCampaignResult).
+  trace::Collector trace;
 };
 
 /// Runs the §4.2 resolver probing sweep over one Figure 3 panel sharded K

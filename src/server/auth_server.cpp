@@ -140,21 +140,56 @@ void AuthoritativeServer::set_lazy_provider(ApexLocator locator,
   cache_capacity_ = cache_capacity;
 }
 
+void AuthoritativeServer::set_tracer(trace::Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer != nullptr) {
+    trace::Metrics& metrics = tracer->metrics();
+    hit_metric_ = metrics.counter("server.zone_cache_hit");
+    materialise_metric_ = metrics.counter("server.zone_materialise");
+    evict_metric_ = metrics.counter("server.zone_evict");
+    resign_metric_ = metrics.counter("server.zone_resign");
+  } else {
+    hit_metric_ = nullptr;
+    materialise_metric_ = nullptr;
+    evict_metric_ = nullptr;
+    resign_metric_ = nullptr;
+  }
+}
+
 std::shared_ptr<const Zone> AuthoritativeServer::lazy_zone(
     const Name& apex) const {
   const auto hit = cache_.find(apex);
   if (hit != cache_.end()) {
     lru_.splice(lru_.begin(), lru_, hit->second.second);
+    ++lazy_hits_;
+    if (hit_metric_ != nullptr) ++*hit_metric_;
     return hit->second.first;
   }
+  trace::Span materialise_span;
+  if (tracer_ != nullptr && tracer_->enabled())
+    materialise_span = tracer_->span("server", "zone.materialise",
+                                     apex.canonical().to_string());
   auto zone = provider_(apex);
   if (!zone) return nullptr;
   ++lazy_materialisations_;
+  if (materialise_metric_ != nullptr) ++*materialise_metric_;
+  if (evicted_.count(apex) > 0) {
+    // This zone was materialised before and evicted since: the provider
+    // just re-signed it from scratch.
+    ++lazy_resigns_;
+    if (resign_metric_ != nullptr) ++*resign_metric_;
+  }
   lru_.push_front(apex);
   cache_.emplace(apex, std::make_pair(zone, lru_.begin()));
   if (cache_.size() > cache_capacity_) {
-    cache_.erase(lru_.back());
+    const Name victim = lru_.back();
+    evicted_.insert(victim);
+    cache_.erase(victim);
     lru_.pop_back();
+    ++lazy_evictions_;
+    if (evict_metric_ != nullptr) ++*evict_metric_;
+    if (tracer_ != nullptr && tracer_->enabled())
+      tracer_->instant("server", "zone.evict", victim.canonical().to_string());
   }
   return zone;
 }

@@ -15,9 +15,11 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "dns/message.hpp"
 #include "simnet/address.hpp"
+#include "trace/trace.hpp"
 #include "zone/zone.hpp"
 
 namespace zh::server {
@@ -55,6 +57,20 @@ class AuthoritativeServer {
   std::uint64_t lazy_materialisations() const noexcept {
     return lazy_materialisations_;
   }
+  /// Lazy-zone LRU hits (query served from an already-materialised zone).
+  std::uint64_t lazy_hits() const noexcept { return lazy_hits_; }
+  /// Zones evicted from the lazy LRU under capacity pressure.
+  std::uint64_t lazy_evictions() const noexcept { return lazy_evictions_; }
+  /// Re-materialisations of previously evicted zones. Each one re-signs the
+  /// whole zone — the cost signal behind the ROADMAP "measure, then size by
+  /// spec" LRU item.
+  std::uint64_t lazy_resigns() const noexcept { return lazy_resigns_; }
+
+  /// Attaches a tracer (normally the owning Network's, wired by
+  /// testbed::Internet::build): LRU activity ticks the server.zone_*
+  /// metrics, and materialisations become spans carrying their signing
+  /// cost when event tracing is enabled.
+  void set_tracer(trace::Tracer* tracer);
 
  private:
   std::shared_ptr<const zone::Zone> zone_for(const dns::Name& qname,
@@ -77,6 +93,18 @@ class AuthoritativeServer {
       dns::NameHash>
       cache_;
   mutable std::uint64_t lazy_materialisations_ = 0;
+  mutable std::uint64_t lazy_hits_ = 0;
+  mutable std::uint64_t lazy_evictions_ = 0;
+  mutable std::uint64_t lazy_resigns_ = 0;
+  /// Apexes evicted at least once — a later materialisation of one of these
+  /// is a re-sign, not a first touch.
+  mutable std::unordered_set<dns::Name, dns::NameHash> evicted_;
+
+  trace::Tracer* tracer_ = nullptr;
+  trace::Metrics::Counter hit_metric_ = nullptr;
+  trace::Metrics::Counter materialise_metric_ = nullptr;
+  trace::Metrics::Counter evict_metric_ = nullptr;
+  trace::Metrics::Counter resign_metric_ = nullptr;
 };
 
 }  // namespace zh::server

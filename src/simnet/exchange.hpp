@@ -57,6 +57,8 @@ inline ExchangeOutcome exchange(Network& network, const IpAddress& from,
   const unsigned attempts = std::max(1u, policy.attempts);
   for (unsigned attempt = 0; attempt < attempts; ++attempt) {
     ++out.attempts;
+    // A retry is a retransmission — count it (cold path: only after loss).
+    if (attempt > 0) network.tracer().count("client.retransmit");
     auto response = network.send(from, to, query);
     if (!response) {
       if (!network.is_attached(to)) {

@@ -17,6 +17,7 @@
 #include "simtime/latency.hpp"
 #include "simtime/queue.hpp"
 #include "simtime/simtime.hpp"
+#include "trace/trace.hpp"
 
 // Debug-mode enforcement of the one-thread-per-Network contract (below).
 // Enabled in non-NDEBUG builds and in sanitizer builds (ZH_THREAD_CHECKS is
@@ -216,6 +217,7 @@ class Network {
                 QueueEpoch epoch = QueueEpoch::kNew) noexcept {
     flow_key_ = key;
     flow_seq_ = 0;
+    tracer_.set_flow(key);
     if (epoch == QueueEpoch::kNew) end_queue_epoch();
   }
   std::uint64_t flow() const noexcept { return flow_key_; }
@@ -223,6 +225,14 @@ class Network {
   /// Virtual time consumed by the most recent send()/send_tcp() — zero for
   /// a lost or unreachable delivery.
   simtime::Duration last_elapsed() const noexcept { return last_elapsed_; }
+
+  /// The network's tracer (see trace/trace.hpp): deliveries, queue events
+  /// and the layers above (resolver, authoritative servers) all emit into
+  /// it, stamped with this network's virtual clock. Disabled by default —
+  /// configure via `tracer().configure(...)`; its Metrics registry and
+  /// stage accumulators are always live.
+  trace::Tracer& tracer() noexcept { return tracer_; }
+  const trace::Tracer& tracer() const noexcept { return tracer_; }
 
   /// Installs (or clears, with nullptr) the on-path attacker.
   void set_tamper(TamperHook hook) { tamper_ = std::move(hook); }
@@ -294,8 +304,10 @@ class Network {
     if (udp && loss_probability_ > 0.0 &&
         simtime::unit_double(simtime::mix64(
             loss_seed_ + simtime::mix64(flow_key_ + simtime::mix64(seq)))) <
-            loss_probability_)
+            loss_probability_) {
+      tracer_.instant("net", "loss");
       return std::nullopt;
+    }
     const auto it = nodes_.find(to);
     if (it == nodes_.end()) return std::nullopt;
     if (logged_destinations_.count(to) > 0 && !query.questions.empty()) {
@@ -304,6 +316,10 @@ class Network {
     // RTT first (twice for TCP — connection setup), so the clock reads
     // "query arrived" when the handler runs and issues nested sends.
     const simtime::Duration start = clock_.now();
+    trace::Span delivery_span;
+    if (tracer_.enabled())
+      delivery_span = tracer_.span("net", udp ? "deliver.udp" : "deliver.tcp",
+                                   to.to_string());
     const simtime::Duration rtt = latency_.sample(from, to, flow_key_, seq);
     clock_.advance(udp ? rtt : rtt * 2);
     // Service queueing: the destination's worker pool decides when service
@@ -382,8 +398,10 @@ class Network {
   simtime::ServiceQueue& queue_state(const IpAddress& to,
                                      const simtime::QueueModel& model) {
     auto it = queues_.find(to);
-    if (it == queues_.end())
+    if (it == queues_.end()) {
       it = queues_.emplace(to, simtime::ServiceQueue(model)).first;
+      it->second.set_tracer(&tracer_);
+    }
     return it->second;
   }
 
@@ -412,6 +430,16 @@ class Network {
   /// queue_counters_ accumulates across epochs.
   std::unordered_map<IpAddress, simtime::ServiceQueue, IpAddressHash> queues_;
   simtime::QueueCounters queue_counters_;
+  /// Adapts the virtual clock to the trace::TimeSource interface, so trace
+  /// timestamps are virtual time by construction. Declared after clock_.
+  struct ClockTimeSource final : trace::TimeSource {
+    explicit ClockTimeSource(const simtime::Clock* clock_in)
+        : clock(clock_in) {}
+    std::int64_t now_ns() const override { return clock->now().nanos(); }
+    const simtime::Clock* clock;
+  };
+  ClockTimeSource clock_source_{&clock_};
+  trace::Tracer tracer_{&clock_source_};
 #ifdef ZH_SIMNET_THREAD_CHECKS
   mutable std::atomic<std::thread::id> owner_thread_{};
 #endif

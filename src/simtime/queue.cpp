@@ -8,6 +8,17 @@ ServiceQueue::ServiceQueue(const QueueModel& model)
     : model_(model),
       busy_until_(model.active() ? model.workers : 1, Duration{}) {}
 
+void ServiceQueue::set_tracer(trace::Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer != nullptr) {
+    admitted_metric_ = tracer->metrics().counter("queue.admitted");
+    shed_metric_ = tracer->metrics().counter("queue.shed");
+  } else {
+    admitted_metric_ = nullptr;
+    shed_metric_ = nullptr;
+  }
+}
+
 QueueAdmission ServiceQueue::admit(Duration arrival) {
   QueueAdmission admission;
 
@@ -26,6 +37,15 @@ QueueAdmission ServiceQueue::admit(Duration arrival) {
     }
     if (waiting >= model_.backlog) {
       ++counters_.dropped;
+      if (shed_metric_ != nullptr) ++*shed_metric_;
+      if (tracer_ != nullptr && tracer_->enabled()) {
+        trace::Event event;
+        event.phase = trace::Event::Phase::kInstant;
+        event.category = "queue";
+        event.name = "shed";
+        event.ts_ns = arrival.nanos();
+        tracer_->emit(std::move(event));
+      }
       return admission;  // shed
     }
     ++counters_.delayed;
@@ -44,6 +64,21 @@ QueueAdmission ServiceQueue::admit(Duration arrival) {
   // Claim the slot from the service start; complete() extends the claim to
   // the true completion once the handler's service time is known.
   *slot_it = start;
+  if (tracer_ != nullptr) {
+    if (admitted_metric_ != nullptr) ++*admitted_metric_;
+    tracer_->add_stage(trace::Stage::kQueueWait, admission.wait.nanos());
+    if (tracer_->enabled()) {
+      // The enqueue span covers the backlog wait: ts = arrival, dur = wait
+      // (pre-stamped — "now" has already advanced past the arrival).
+      trace::Event event;
+      event.phase = trace::Event::Phase::kSpan;
+      event.category = "queue";
+      event.name = "enqueue";
+      event.ts_ns = arrival.nanos();
+      event.dur_ns = admission.wait.nanos();
+      tracer_->emit(std::move(event));
+    }
+  }
   return admission;
 }
 
@@ -54,6 +89,15 @@ void ServiceQueue::complete(const QueueAdmission& admission,
   busy_until_[admission.slot] = completion;
   counters_.busy_ns +=
       static_cast<std::uint64_t>((completion - admission.start).nanos());
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    // Dequeue = service end: the slot frees here.
+    trace::Event event;
+    event.phase = trace::Event::Phase::kInstant;
+    event.category = "queue";
+    event.name = "dequeue";
+    event.ts_ns = completion.nanos();
+    tracer_->emit(std::move(event));
+  }
 }
 
 }  // namespace zh::simtime

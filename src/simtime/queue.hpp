@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "simtime/simtime.hpp"
+#include "trace/trace.hpp"
 
 namespace zh::simtime {
 
@@ -118,8 +119,17 @@ class ServiceQueue {
   const QueueCounters& counters() const noexcept { return counters_; }
   const QueueModel& model() const noexcept { return model_; }
 
+  /// Attaches the owning Network's tracer: admissions/sheds tick the
+  /// `queue.admitted`/`queue.shed` metrics and (when event tracing is on)
+  /// emit enqueue/dequeue/shed events; backlog waits accumulate into the
+  /// kQueueWait stage.
+  void set_tracer(trace::Tracer* tracer);
+
  private:
   QueueModel model_;
+  trace::Tracer* tracer_ = nullptr;
+  trace::Metrics::Counter admitted_metric_ = nullptr;
+  trace::Metrics::Counter shed_metric_ = nullptr;
   /// Per-slot time the worker becomes free (service start until complete()
   /// overwrites it with the true completion).
   std::vector<Duration> busy_until_;

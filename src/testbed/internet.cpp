@@ -339,6 +339,27 @@ void Internet::build() {
     });
   }
   // The shared host answers on v6 via the same node handler already.
+
+  // Every authoritative server reports into the network's tracer (zone-LRU
+  // metrics + materialisation spans).
+  for (const auto& srv : servers_) srv->set_tracer(&network_.tracer());
+
+  // Operator PoPs with their own queue profile (set before build()).
+  for (const auto& op : operators_) {
+    if (!op.queue) continue;
+    network_.set_queue(op.address_v4, *op.queue);
+    network_.set_queue(op.address_v6, *op.queue);
+  }
+}
+
+void Internet::set_operator_queue(std::size_t index,
+                                  simtime::QueueModel model) {
+  OperatorHandle& op = operators_.at(index);
+  op.queue = model;
+  if (built_) {
+    network_.set_queue(op.address_v4, model);
+    network_.set_queue(op.address_v6, model);
+  }
 }
 
 std::shared_ptr<const Zone> Internet::zone(const Name& apex) const {

@@ -65,6 +65,9 @@ struct OperatorHandle {
   simnet::IpAddress address_v6;
   std::vector<dns::Name> ns_names;
   server::AuthoritativeServer* server = nullptr;  // owned by Internet
+  /// Service-queue profile of this operator's PoP (both addresses). Unset →
+  /// the network default; resolver profiles carry the analogous override.
+  std::optional<simtime::QueueModel> queue;
 };
 
 /// Lazily-hosted delegation: appears in its TLD, materialises on query.
@@ -100,6 +103,12 @@ class Internet {
 
   /// Declares a lazily-hosted delegation (before build()).
   void add_lazy_delegation(LazyDelegation delegation);
+
+  /// Gives one operator's PoP its own service-queue profile (see
+  /// simtime/queue.hpp). Usable before build() — applied during build — or
+  /// after, taking effect immediately; this is the authoritative-side
+  /// counterpart of ResolverProfile::queue.
+  void set_operator_queue(std::size_t index, simtime::QueueModel model);
 
   /// Builds and signs everything bottom-up and attaches all servers.
   void build();

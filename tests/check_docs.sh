@@ -3,7 +3,9 @@
 # docs job):
 #   1. every intra-repo markdown link resolves to an existing file;
 #   2. every bench_* target registered in bench/CMakeLists.txt has a row
-#      in docs/BENCHMARKS.md.
+#      in docs/BENCHMARKS.md;
+#   3. every page under docs/ is reachable: linked from at least one
+#      other markdown file (no orphan documentation).
 # Exits non-zero with one line per violation.
 set -u
 
@@ -54,8 +56,30 @@ for bench in $benches; do
   fi
 done
 
+# --- 3. no orphan docs --------------------------------------------------
+# Every docs/*.md must be the target of at least one intra-repo link from
+# some *other* markdown file, so each page stays discoverable by reading.
+docs_pages=$(find docs -name '*.md' 2>/dev/null)
+for page in $docs_pages; do
+  base=$(basename -- "$page")
+  linked=0
+  for md in $md_files; do
+    [ "$md" = "./$page" ] && continue
+    if grep -o '\[[^]]*\]([^)]*)' "$md" 2>/dev/null |
+       grep -q "($base\|/$base\|$base#\|/$base#"; then
+      linked=1
+      break
+    fi
+  done
+  if [ "$linked" -eq 0 ]; then
+    echo "ORPHAN DOC: $page is linked from no other markdown file"
+    status=1
+  fi
+done
+
 if [ "$status" -eq 0 ]; then
   echo "check_docs: all markdown links resolve;" \
-       "all $(echo "$benches" | wc -l | tr -d ' ') bench targets documented."
+       "all $(echo "$benches" | wc -l | tr -d ' ') bench targets documented;" \
+       "all $(echo "$docs_pages" | wc -l | tr -d ' ') docs pages linked."
 fi
 exit "$status"
