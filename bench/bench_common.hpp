@@ -13,14 +13,18 @@
 //   ZH_JITTER_MS       uniform RTT jitter in ms (also --jitter MS)
 //   ZH_TRACE           trace output file (also --trace FILE; enables tracing)
 //   ZH_TRACE_FORMAT    jsonl | chrome (also --trace-format F; default jsonl)
+//   ZH_PROCS           worker processes (default 1; also --procs N; 0 = all
+//                      hardware threads) — see bench_procs.hpp
 #pragma once
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "scanner/campaign.hpp"
 #include "scanner/parallel.hpp"
@@ -38,9 +42,23 @@ inline double env_double(const char* name, double fallback) {
   return value ? std::atof(value) : fallback;
 }
 
+/// Strict non-negative integer from the environment. atoll would turn
+/// ZH_RETRIES=-3 into 18446744073709551613 attempts and ZH_JOBS=banana into
+/// 0 silently; instead anything that is not a whole base-10 non-negative
+/// integer is rejected with a stderr diagnostic and the fallback is used.
 inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
   const char* value = std::getenv(name);
-  return value ? static_cast<std::uint64_t>(std::atoll(value)) : fallback;
+  if (!value || !*value) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value, &end, 10);
+  if (errno != 0 || end == value || *end != '\0' || parsed < 0) {
+    std::fprintf(stderr,
+                 "# %s='%s' is not a non-negative integer; using %llu\n", name,
+                 value, static_cast<unsigned long long>(fallback));
+    return fallback;
+  }
+  return static_cast<std::uint64_t>(parsed);
 }
 
 /// Every bench shares one flag vocabulary (parsed by parse_flags below):
@@ -52,6 +70,12 @@ inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
 ///   --jitter MS                 uniform RTT jitter in milliseconds
 ///   --trace FILE                write the merged event trace to FILE
 ///   --trace-format F            jsonl (default) or chrome
+///   --procs N                   worker processes (0 = all hardware threads)
+///   --shard S --of K            run only process sub-shard S of K
+///   --emit-shard BASE           write shard artefacts under BASE (worker
+///                               mode — implies --shard/--of)
+///   --merge-shards FILE...      merge existing artefacts instead of
+///                               scanning (consumes all remaining args)
 /// Unknown flags are ignored, so benches can add their own on top.
 struct BenchFlags {
   unsigned jobs = 1;
@@ -61,6 +85,23 @@ struct BenchFlags {
   double jitter_ms = 0.0;
   std::string trace_path;
   trace::Format trace_format = trace::Format::kJsonl;
+  /// Process-level fan-out (bench_procs.hpp). 1 = in-process only.
+  unsigned procs = 1;
+  /// Worker-mode sub-shard: this process covers positions ≡ shard (mod of)
+  /// and writes artefacts under `emit_shard` instead of printing results.
+  unsigned shard = 0;
+  unsigned of = 0;
+  std::string emit_shard;
+  /// Merge-mode inputs: decode + merge these artefacts, run nothing.
+  std::vector<std::string> merge_shards;
+  /// This binary (argv[0]) and the arguments a worker re-exec needs —
+  /// everything parsed above minus the process-orchestration and trace
+  /// flags (workers get their sub-shard flags appended by the spawner).
+  std::string exe;
+  std::vector<std::string> worker_args;
+
+  bool worker_mode() const noexcept { return !emit_shard.empty(); }
+  bool merge_mode() const noexcept { return !merge_shards.empty(); }
 
   /// True when any flag moves virtual time (loss forces timeout waits).
   bool time_shaped() const noexcept {
@@ -79,13 +120,20 @@ struct BenchFlags {
         seed);
   }
 
-  /// Installs the transport flags into a parallel-engine options struct
-  /// (jobs is left to the caller — some benches pin it).
+  /// Installs every parsed flag into the parallel-engine options struct —
+  /// the whole hand-off lives here so a flag can't silently stop short of
+  /// the engine (--trace-format used to).
   void apply(scanner::ParallelOptions& options) const {
+    options.jobs = jobs;
     options.loss_probability = loss;
     options.retry = retry;
     options.latency = latency_model(options.base_seed);
     options.trace.enabled = trace_enabled();
+    options.trace.format = trace_format;
+    if (worker_mode()) {
+      options.shard_index = shard;
+      options.shard_count = of;
+    }
   }
 };
 
@@ -95,7 +143,9 @@ struct BenchFlags {
 /// both work.
 inline BenchFlags parse_flags(int argc, char** argv) {
   BenchFlags flags;
+  if (argc > 0 && argv[0]) flags.exe = argv[0];
   long jobs = static_cast<long>(env_u64("ZH_JOBS", 1));
+  long procs = static_cast<long>(env_u64("ZH_PROCS", 1));
   flags.loss = env_double("ZH_LOSS", 0.0);
   flags.retry.attempts =
       static_cast<unsigned>(env_u64("ZH_RETRIES", flags.retry.attempts));
@@ -121,6 +171,11 @@ inline BenchFlags parse_flags(int argc, char** argv) {
   };
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
+    const int first = i;
+    // Flags a worker re-exec must NOT inherit: process orchestration (the
+    // spawner appends the right --shard/--of/--emit-shard; --procs would
+    // fork-bomb) and tracing (K workers racing for one trace file).
+    bool forward = true;
     if (const char* v = value_of(i, "--jobs")) {
       jobs = std::atol(v);
     } else if (std::strncmp(arg, "-j", 2) == 0 && arg[2] != '\0') {
@@ -136,6 +191,7 @@ inline BenchFlags parse_flags(int argc, char** argv) {
     } else if (const char* v = value_of(i, "--jitter")) {
       flags.jitter_ms = std::atof(v);
     } else if (const char* v = value_of(i, "--trace-format")) {
+      forward = false;
       if (const auto parsed = trace::parse_format(v)) {
         flags.trace_format = *parsed;
       } else {
@@ -143,12 +199,40 @@ inline BenchFlags parse_flags(int argc, char** argv) {
                      v);
       }
     } else if (const char* v = value_of(i, "--trace")) {
+      forward = false;
       flags.trace_path = v;
+    } else if (const char* v = value_of(i, "--procs")) {
+      forward = false;
+      procs = std::atol(v);
+    } else if (const char* v = value_of(i, "--shard")) {
+      forward = false;
+      flags.shard = static_cast<unsigned>(std::atol(v));
+    } else if (const char* v = value_of(i, "--of")) {
+      forward = false;
+      flags.of = static_cast<unsigned>(std::atol(v));
+    } else if (const char* v = value_of(i, "--emit-shard")) {
+      forward = false;
+      flags.emit_shard = v;
+    } else if (std::strcmp(arg, "--merge-shards") == 0) {
+      forward = false;
+      for (++i; i < argc; ++i) flags.merge_shards.push_back(argv[i]);
     }
+    if (forward)
+      for (int k = first; k <= i && k < argc; ++k)
+        flags.worker_args.push_back(argv[k]);
   }
   if (jobs < 0) jobs = 1;
   flags.jobs =
       jobs == 0 ? scanner::default_jobs() : static_cast<unsigned>(jobs);
+  if (procs < 0) procs = 1;
+  flags.procs =
+      procs == 0 ? scanner::default_jobs() : static_cast<unsigned>(procs);
+  if (flags.worker_mode() && (flags.of == 0 || flags.shard >= flags.of)) {
+    std::fprintf(stderr, "--emit-shard requires --shard S --of K with S < K "
+                         "(got S=%u, K=%u)\n",
+                 flags.shard, flags.of);
+    std::exit(2);
+  }
   return flags;
 }
 

@@ -10,22 +10,22 @@
 #include "analysis/export.hpp"
 #include "analysis/stats.hpp"
 #include "bench_common.hpp"
+#include "bench_procs.hpp"
 
 int main(int argc, char** argv) {
   using namespace zh;
   const bench::BenchFlags flags = bench::parse_flags(argc, argv);
-  const unsigned jobs = flags.jobs;
   const double scale = bench::env_double("ZH_SCALE", 0.001);
   workload::EcosystemSpec spec(
       {.scale = scale, .seed = bench::env_u64("ZH_SEED", 42)});
 
-  scanner::ParallelOptions options{.jobs = jobs,
-                                   .base_seed = spec.options().seed};
+  scanner::ParallelOptions options{.base_seed = spec.options().seed};
   flags.apply(options);
   const auto start = std::chrono::steady_clock::now();
-  const scanner::ParallelCampaignResult campaign =
-      scanner::run_domain_campaign_parallel(
-          spec, scanner::default_world_factory(spec), options);
+  const auto result = bench::run_domain_campaign(
+      flags, spec, scanner::default_world_factory(spec), options);
+  if (!result) return 0;  // worker mode: the shard artefact is the output
+  const scanner::ParallelCampaignResult& campaign = *result;
   const double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

@@ -10,6 +10,7 @@
 #include "analysis/export.hpp"
 #include "analysis/stats.hpp"
 #include "bench_common.hpp"
+#include "bench_procs.hpp"
 
 namespace {
 
@@ -38,7 +39,6 @@ void print_panel(const char* title,
 int main(int argc, char** argv) {
   using namespace zh;
   const bench::BenchFlags flags = bench::parse_flags(argc, argv);
-  const unsigned jobs = flags.jobs;
   const double rscale = bench::env_double("ZH_RESOLVER_SCALE", 0.01);
   // Figure 3 needs the probe infrastructure only — domains are irrelevant;
   // every worker builds its own domain-less world.
@@ -54,15 +54,15 @@ int main(int argc, char** argv) {
 
   for (const auto panel : panels) {
     const auto panel_spec = workload::figure3_panel(panel, rscale);
-    scanner::ParallelOptions options{.jobs = jobs,
-                                     .base_seed = spec.options().seed};
+    scanner::ParallelOptions options{.base_seed = spec.options().seed};
     flags.apply(options);
     const auto start = std::chrono::steady_clock::now();
-    const scanner::ParallelSweepResult sweep =
-        scanner::run_resolver_sweep_parallel(
-            panel_spec, factory, "f3-" + workload::to_string(panel) + "-",
-            address_base, options);
-    address_base += 1u << 20;
+    const auto result = bench::run_resolver_sweep(
+        flags, panel_spec, factory, "f3-" + workload::to_string(panel) + "-",
+        address_base, options);
+    address_base += 1u << 20;  // keep the panel address plan in worker mode
+    if (!result) continue;     // worker mode: artefact written, next panel
+    const scanner::ParallelSweepResult& sweep = *result;
     const scanner::ResolverSweepStats& stats = sweep.stats;
     const double secs = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - start)
@@ -104,6 +104,7 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (flags.worker_mode()) return 0;  // all four panel artefacts written
   std::printf(
       "\nPaper's qualitative shape to compare against:\n"
       "  - AD+NXDOMAIN steps down at 50 / 100 / 150 additional iterations\n"

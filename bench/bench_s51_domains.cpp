@@ -7,20 +7,22 @@
 
 #include "analysis/stats.hpp"
 #include "bench_common.hpp"
+#include "bench_procs.hpp"
 
 int main(int argc, char** argv) {
   using namespace zh;
   const bench::BenchFlags flags = bench::parse_flags(argc, argv);
-  const unsigned jobs = flags.jobs;
   auto world = bench::build_world();
 
-  scanner::ParallelOptions options{
-      .jobs = jobs, .base_seed = bench::env_u64("ZH_SEED", 42)};
+  scanner::ParallelOptions options{.base_seed = bench::env_u64("ZH_SEED", 42)};
   flags.apply(options);
   const auto start = std::chrono::steady_clock::now();
-  const scanner::ParallelCampaignResult campaign =
-      scanner::run_domain_campaign_parallel(
-          *world.spec, scanner::default_world_factory(*world.spec), options);
+  const auto result = bench::run_domain_campaign(
+      flags, *world.spec, scanner::default_world_factory(*world.spec),
+      options);
+  if (!result) return 0;  // worker mode: artefact written (census is
+                          // parent-side work — it is not sharded)
+  const scanner::ParallelCampaignResult& campaign = *result;
   const double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

@@ -5,11 +5,11 @@
 // output is bit-identical for every N (see scanner/parallel.hpp).
 #include "analysis/stats.hpp"
 #include "bench_common.hpp"
+#include "bench_procs.hpp"
 
 int main(int argc, char** argv) {
   using namespace zh;
   const bench::BenchFlags flags = bench::parse_flags(argc, argv);
-  const unsigned jobs = flags.jobs;
   const double rscale = bench::env_double("ZH_RESOLVER_SCALE", 0.01);
   // Probe infrastructure only; each worker thread builds its own world.
   const workload::EcosystemSpec spec(
@@ -25,15 +25,14 @@ int main(int argc, char** argv) {
       workload::Panel::kClosedV4, workload::Panel::kClosedV6};
   for (int p = 0; p < 4; ++p) {
     const auto panel_spec = workload::figure3_panel(panels[p], rscale);
-    scanner::ParallelOptions options{.jobs = jobs,
-                                     .base_seed = spec.options().seed};
+    scanner::ParallelOptions options{.base_seed = spec.options().seed};
     flags.apply(options);
-    const scanner::ParallelSweepResult sweep =
-        scanner::run_resolver_sweep_parallel(
-            panel_spec, factory,
-            "s52-" + workload::to_string(panels[p]) + "-", address_base,
-            options);
-    address_base += 1u << 20;
+    const auto result = bench::run_resolver_sweep(
+        flags, panel_spec, factory,
+        "s52-" + workload::to_string(panels[p]) + "-", address_base, options);
+    address_base += 1u << 20;  // keep the panel address plan in worker mode
+    if (!result) continue;     // worker mode: artefact written, next panel
+    const scanner::ParallelSweepResult& sweep = *result;
     all.merge(sweep.stats);
     validators_by_panel[p] = sweep.stats.validators;
     // One trace file per panel (suffixed) — each sweep has its own shards.
@@ -42,6 +41,7 @@ int main(int argc, char** argv) {
       panel_flags.trace_path += "." + workload::to_string(panels[p]);
     bench::write_trace(panel_flags, sweep.trace);
   }
+  if (flags.worker_mode()) return 0;  // all four panel artefacts written
   bench::print_stage_breakdown(flags, all.stage_resolve_us,
                                all.stage_recurse_us, all.stage_validate_us,
                                all.stage_queue_wait_us);
@@ -108,6 +108,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\nNote: absolute counts scale with ZH_RESOLVER_SCALE; percentages are "
       "scale-invariant (and --jobs-invariant; ran with --jobs %u).\n",
-      jobs);
+      flags.jobs);
   return 0;
 }

@@ -1,13 +1,15 @@
 #include "analysis/export.hpp"
 
-#include <cassert>
 #include <cstdio>
+#include <stdexcept>
 
 namespace zh::analysis {
 namespace {
 
 std::string csv_escape(const std::string& cell) {
-  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  // RFC 4180: bare CR needs quoting just like LF, or a \r\n-aware reader
+  // splits the record.
+  if (cell.find_first_of(",\"\n\r") == std::string::npos) return cell;
   std::string out = "\"";
   for (const char c : cell) {
     if (c == '"') out += "\"\"";
@@ -64,7 +66,11 @@ std::string freq_to_csv(const FreqTable& table,
 }
 
 void Table::add_row(std::vector<std::string> cells) {
-  assert(cells.size() == columns_.size());
+  if (cells.size() != columns_.size()) {
+    throw std::invalid_argument(
+        "Table::add_row: " + std::to_string(cells.size()) + " cells for " +
+        std::to_string(columns_.size()) + " columns");
+  }
   rows_.push_back(std::move(cells));
 }
 
@@ -103,12 +109,14 @@ std::string Table::to_json() const {
 bool write_file(const std::string& directory, const std::string& filename,
                 const std::string& content) {
   const std::string path = directory + "/" + filename;
-  std::FILE* file = std::fopen(path.c_str(), "w");
+  // "wb", not "w": artefacts must be byte-identical across platforms, and
+  // text mode would rewrite line endings where the distinction exists.
+  std::FILE* file = std::fopen(path.c_str(), "wb");
   if (!file) return false;
   const std::size_t written =
       std::fwrite(content.data(), 1, content.size(), file);
-  std::fclose(file);
-  return written == content.size();
+  const bool closed = std::fclose(file) == 0;
+  return closed && written == content.size();
 }
 
 }  // namespace zh::analysis

@@ -1,0 +1,206 @@
+#include "analysis/serialize.hpp"
+
+#include <cstdio>
+
+namespace zh::analysis {
+
+const char* decode_errc_name(DecodeErrc code) noexcept {
+  switch (code) {
+    case DecodeErrc::kNone: return "ok";
+    case DecodeErrc::kTruncated: return "truncated";
+    case DecodeErrc::kBadMagic: return "bad-magic";
+    case DecodeErrc::kBadVersion: return "bad-version";
+    case DecodeErrc::kBadValue: return "bad-value";
+    case DecodeErrc::kChecksum: return "checksum-mismatch";
+    case DecodeErrc::kTrailingBytes: return "trailing-bytes";
+  }
+  return "unknown";
+}
+
+std::string DecodeError::to_string() const {
+  std::string out = decode_errc_name(code);
+  if (!detail.empty()) out += ": " + detail;
+  return out;
+}
+
+std::uint64_t fnv1a64(std::span<const std::uint8_t> data) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const std::uint8_t byte : data) {
+    hash ^= byte;
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+void Encoder::u16(std::uint16_t v) {
+  out_.u8(static_cast<std::uint8_t>(v));
+  out_.u8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void Encoder::u32(std::uint32_t v) {
+  u16(static_cast<std::uint16_t>(v));
+  u16(static_cast<std::uint16_t>(v >> 16));
+}
+
+void Encoder::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v));
+  u32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void Encoder::str(const std::string& s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  out_.bytes(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
+
+bool Decoder::fail(DecodeErrc code, std::string detail) {
+  if (error_.code == DecodeErrc::kNone) {
+    error_.code = code;
+    error_.detail = std::move(detail);
+  }
+  return false;
+}
+
+bool Decoder::u8(std::uint8_t& out) {
+  if (!ok()) return false;
+  const auto v = reader_.u8();
+  if (!v) return fail(DecodeErrc::kTruncated, "u8");
+  out = *v;
+  return true;
+}
+
+bool Decoder::u16(std::uint16_t& out) {
+  std::uint8_t lo = 0, hi = 0;
+  if (!u8(lo) || !u8(hi)) return fail(DecodeErrc::kTruncated, "u16");
+  out = static_cast<std::uint16_t>(lo | (std::uint16_t{hi} << 8));
+  return true;
+}
+
+bool Decoder::u32(std::uint32_t& out) {
+  std::uint16_t lo = 0, hi = 0;
+  if (!u16(lo) || !u16(hi)) return fail(DecodeErrc::kTruncated, "u32");
+  out = lo | (std::uint32_t{hi} << 16);
+  return true;
+}
+
+bool Decoder::u64(std::uint64_t& out) {
+  std::uint32_t lo = 0, hi = 0;
+  if (!u32(lo) || !u32(hi)) return fail(DecodeErrc::kTruncated, "u64");
+  out = lo | (std::uint64_t{hi} << 32);
+  return true;
+}
+
+bool Decoder::i64(std::int64_t& out) {
+  std::uint64_t raw = 0;
+  if (!u64(raw)) return false;
+  out = static_cast<std::int64_t>(raw);
+  return true;
+}
+
+bool Decoder::str(std::string& out) {
+  std::uint32_t length = 0;
+  if (!u32(length)) return false;
+  const auto view = reader_.view(length);
+  if (!view) return fail(DecodeErrc::kTruncated, "string body");
+  out.assign(reinterpret_cast<const char*>(view->data()), view->size());
+  return true;
+}
+
+bool Decoder::magic(const char* expect) {
+  if (!ok()) return false;
+  const auto view = reader_.view(4);
+  if (!view) return fail(DecodeErrc::kTruncated, "magic");
+  for (std::size_t i = 0; i < 4; ++i) {
+    if ((*view)[i] != static_cast<std::uint8_t>(expect[i]))
+      return fail(DecodeErrc::kBadMagic, std::string("want ") + expect);
+  }
+  return true;
+}
+
+bool Decoder::expect_end() {
+  if (!ok()) return false;
+  if (reader_.remaining() != 0)
+    return fail(DecodeErrc::kTrailingBytes,
+                std::to_string(reader_.remaining()) + " bytes after value");
+  return true;
+}
+
+void encode(Encoder& enc, const Ecdf& ecdf) {
+  enc.u64(ecdf.histogram().size());
+  for (const auto& [value, count] : ecdf.histogram()) {
+    enc.i64(value);
+    enc.u64(count);
+  }
+}
+
+bool decode(Decoder& dec, Ecdf& out) {
+  std::uint64_t entries = 0;
+  if (!dec.u64(entries)) return false;
+  bool first = true;
+  std::int64_t previous = 0;
+  for (std::uint64_t i = 0; i < entries; ++i) {
+    std::int64_t value = 0;
+    std::uint64_t count = 0;
+    if (!dec.i64(value) || !dec.u64(count)) return false;
+    if (!first && value <= previous)
+      return dec.fail(DecodeErrc::kBadValue, "ecdf keys not ascending");
+    if (count == 0) return dec.fail(DecodeErrc::kBadValue, "ecdf zero count");
+    out.add(value, count);
+    previous = value;
+    first = false;
+  }
+  return true;
+}
+
+void encode(Encoder& enc, const FreqTable& table) {
+  enc.u64(table.raw().size());
+  for (const auto& [key, count] : table.raw()) {
+    enc.str(key);
+    enc.u64(count);
+  }
+}
+
+bool decode(Decoder& dec, FreqTable& out) {
+  std::uint64_t entries = 0;
+  if (!dec.u64(entries)) return false;
+  bool first = true;
+  std::string previous;
+  for (std::uint64_t i = 0; i < entries; ++i) {
+    std::string key;
+    std::uint64_t count = 0;
+    if (!dec.str(key) || !dec.u64(count)) return false;
+    if (!first && key <= previous)
+      return dec.fail(DecodeErrc::kBadValue, "freq keys not ascending");
+    if (count == 0) return dec.fail(DecodeErrc::kBadValue, "freq zero count");
+    out.add(key, count);
+    previous = std::move(key);
+    first = false;
+  }
+  return true;
+}
+
+bool write_bytes_file(const std::string& path,
+                      std::span<const std::uint8_t> data) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (!file) return false;
+  const std::size_t written = std::fwrite(data.data(), 1, data.size(), file);
+  const bool closed = std::fclose(file) == 0;
+  return written == data.size() && closed;
+}
+
+std::optional<std::vector<std::uint8_t>> read_bytes_file(
+    const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (!file) return std::nullopt;
+  std::vector<std::uint8_t> data;
+  std::uint8_t buffer[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof buffer, file)) > 0)
+    data.insert(data.end(), buffer, buffer + n);
+  const bool failed = std::ferror(file) != 0;
+  std::fclose(file);
+  if (failed) return std::nullopt;
+  return data;
+}
+
+}  // namespace zh::analysis

@@ -44,9 +44,15 @@ class Ecdf {
 
   /// Smallest value v with P(X <= v) >= p (nearest-rank; p in [0,1]).
   std::int64_t percentile(double p) const {
-    std::uint64_t threshold = static_cast<std::uint64_t>(
-        std::ceil(p * static_cast<double>(total_)));
+    // ceil(p·n) computed in doubles overshoots when p·n should be an exact
+    // integer but rounds up (0.07·100 = 7.000000000000001 → rank 8, off by
+    // one bucket). Shave a relative epsilon before the ceil so exact ranks
+    // survive while genuinely fractional ones still round up.
+    const double scaled = p * static_cast<double>(total_);
+    std::uint64_t threshold =
+        static_cast<std::uint64_t>(std::ceil(scaled - scaled * 1e-12));
     if (threshold == 0) threshold = 1;
+    if (threshold > total_ && total_ > 0) threshold = total_;
     std::uint64_t acc = 0;
     for (const auto& [v, c] : counts_) {
       acc += c;

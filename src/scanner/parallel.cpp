@@ -46,6 +46,11 @@ unsigned effective_jobs(const ParallelOptions& options) {
   return options.jobs == 0 ? default_jobs() : options.jobs;
 }
 
+/// Process-level sub-shard span (0 is normalised to "no sub-sharding").
+unsigned shard_span(const ParallelOptions& options) {
+  return options.shard_count == 0 ? 1 : options.shard_count;
+}
+
 /// Runs `body(shard)` on `jobs` worker threads and rethrows the first
 /// worker failure (by shard order) after all workers joined.
 void run_sharded(unsigned jobs,
@@ -129,7 +134,14 @@ ParallelCampaignResult run_domain_campaign_parallel(
     DomainCampaign campaign(*world.internet, spec,
                             world.scan_resolver->address(),
                             shard_source(shard), options.retry);
-    campaign.run_shard(shard, jobs, options.limit, options.stride);
+    // Compose process-level and thread-level sharding: thread t of this
+    // sub-shard covers the global residues shard_index + span·t (mod
+    // span·jobs) — the union over processes and threads tiles the serial
+    // visit order exactly (see ParallelOptions::shard_index).
+    const unsigned span = shard_span(options);
+    campaign.run_shard(options.shard_index + span * shard,
+                       static_cast<std::size_t>(span) * jobs, options.limit,
+                       options.stride);
     out.stats = campaign.stats();
     out.records = campaign.records();
     out.queries = campaign.queries_issued();
@@ -190,9 +202,16 @@ ParallelSweepResult run_resolver_sweep_parallel(
         *world.internet, panel, address_base, options.population_seed);
     ResolverProber prober(world.internet->network(), shard_source(shard),
                           world.probe_zones, options.retry);
-    if (shard == 0) out.population = population.members.size();
+    // Global residue of this worker thread within the span·jobs-way
+    // partition (span = process-level sub-shards; see the campaign path).
+    const unsigned span = shard_span(options);
+    const std::size_t global_shard = options.shard_index + span * shard;
+    const std::size_t global_jobs = static_cast<std::size_t>(span) * jobs;
+    // Exactly one worker across all processes reports the population.
+    if (global_shard == 0) out.population = population.members.size();
     trace::Tracer& tracer = world.internet->network().tracer();
-    for (std::size_t j = shard; j < population.members.size(); j += jobs) {
+    for (std::size_t j = global_shard; j < population.members.size();
+         j += global_jobs) {
       const trace::StageTotals stages_before = tracer.stages();
       out.stats.add(prober.probe(population.members[j].address,
                                  token_prefix + std::to_string(j)));

@@ -75,6 +75,15 @@ ShardWorldFactory default_world_factory(const workload::EcosystemSpec& spec,
 struct ParallelOptions {
   /// Worker count K. 0 means default_jobs().
   unsigned jobs = 1;
+  /// Process-level sub-sharding (scanner/process.hpp): this run covers
+  /// only the campaign positions j ≡ shard_index (mod shard_count) of the
+  /// serial visit order. Worker thread t then covers the global residue
+  /// shard_index + shard_count·t of a shard_count·jobs-way partition, so
+  /// K processes × J threads tile the work list exactly like one process
+  /// at --jobs K·J — which is what keeps process-mode campaigns
+  /// bit-identical to in-process ones. Default: the whole campaign.
+  unsigned shard_index = 0;
+  unsigned shard_count = 1;
   /// Forwarded to DomainCampaign::run_shard.
   std::size_t limit = static_cast<std::size_t>(-1);
   std::size_t stride = 1;

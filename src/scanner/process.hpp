@@ -1,0 +1,60 @@
+// Multi-process campaign scale-out.
+//
+// The in-process engine (scanner/parallel.hpp) tops out at one machine's
+// thread count and one address space. This runner forks K worker
+// *processes* of the current binary, hands each the sub-shard flags
+// `--shard s --of K --emit-shard FILE`, and merges the shard artefacts
+// (scanner/serialize.hpp) the workers write — through exactly the same
+// merge algebra the thread engine uses, so the headline invariant
+// extends one level up:
+//
+//     serial run ≡ --jobs K in-process ≡ K-process run,
+//     byte-identical stats, records and query counts.
+//
+// Because the artefacts are plain files, the same merge path also scales
+// across machines: run the workers anywhere, copy the files, merge with
+// `--merge-shards A B C...`.
+//
+// The parent never parses worker stdout (workers are spawned with stdout
+// redirected to /dev/null); the artefact file is the entire contract.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scanner/parallel.hpp"
+
+namespace zh::scanner {
+
+/// Creates a fresh private directory for shard artefacts (mkdtemp under
+/// $TMPDIR or /tmp). Empty string + `error` on failure.
+std::string make_shard_dir(std::string& error);
+
+/// Forks `procs` copies of `exe`, each exec'd with
+///   args... --shard <s> --of <procs> --emit-shard <emit_base>
+/// stdout redirected to /dev/null (workers re-run the caller's whole main
+/// — their console report is partial and must not pollute the parent's),
+/// ZH_PROCS/ZH_TRACE scrubbed from the child environment, and waits for
+/// all of them. False + `error` when any worker fails to spawn or exits
+/// non-zero.
+bool spawn_shard_workers(const std::string& exe,
+                         const std::vector<std::string>& args, unsigned procs,
+                         const std::string& emit_base, std::string& error);
+
+/// Decodes the artefact files and merges every shard whose tag matches
+/// `tag` into one campaign result (stats/records/queries/cost summed
+/// through the merge algebra, records re-sorted into serial order, worker
+/// hash work credited to the calling thread's CostMeter, jobs = of ×
+/// per-worker jobs). Requires a complete, consistent shard set for the
+/// tag: every shard 0..of-1 exactly once, all agreeing on `of`. Files
+/// with foreign tags are skipped, so a mixed pile (e.g. all four Figure 3
+/// panels) can be handed to every merge call. False + `error` on any
+/// decode or consistency failure.
+bool merge_domain_shards(const std::vector<std::string>& paths,
+                         const std::string& tag, ParallelCampaignResult& out,
+                         std::string& error);
+bool merge_sweep_shards(const std::vector<std::string>& paths,
+                        const std::string& tag, ParallelSweepResult& out,
+                        std::string& error);
+
+}  // namespace zh::scanner

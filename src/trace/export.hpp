@@ -24,10 +24,8 @@
 
 namespace zh::trace {
 
-enum class Format {
-  kJsonl,
-  kChrome,
-};
+// Format itself lives in trace/trace.hpp (it is part of trace::Config);
+// the parse/name helpers and serialisers stay here with the writers.
 
 /// Parses "jsonl" / "chrome"; nullopt otherwise.
 std::optional<Format> parse_format(std::string_view text) noexcept;

@@ -127,13 +127,23 @@ class Metrics {
   std::map<std::string, std::uint64_t> counters_;
 };
 
-/// Tracer configuration. Default: disabled, 64 Ki-event ring.
+/// Trace serialisation formats (trace/export.hpp implements both).
+enum class Format {
+  kJsonl,
+  kChrome,
+};
+
+/// Tracer configuration. Default: disabled, 64 Ki-event ring, JSONL.
 struct Config {
   bool enabled = false;
   /// Bounded ring capacity per shard: once full, new events overwrite the
   /// oldest (the trace keeps the most recent window; `lost` counts the
   /// overwritten ones).
   std::size_t buffer_capacity = 1 << 16;
+  /// Export format used when the configured trace is written out. Carried
+  /// here so one options struct holds *everything* a flag parser hands
+  /// over (bench --trace-format lands in the same Config as --trace).
+  Format format = Format::kJsonl;
 };
 
 /// One shard's trace, detached from its Tracer for cross-thread merging.

@@ -4,6 +4,11 @@
 # define ZH_THREAD_CHECKS, so the simnet owner-thread contract is enforced
 # even though the optimized build type strips asserts.
 #
+# The suite includes the shard-artefact codec property tests
+# (test_serialize: every truncated prefix and single-bit flip of an
+# artefact is decoded), so ASan/UBSan here is what substantiates the
+# codec's "fails cleanly, never out-of-bounds" claim.
+#
 #   tests/run_sanitizers.sh [thread|address ...]
 #
 # With no arguments both sanitizers run. Build trees live next to the

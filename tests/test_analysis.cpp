@@ -1,6 +1,8 @@
 // Unit tests for the analysis primitives: ECDF, frequency table, formatting.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "analysis/export.hpp"
 #include "analysis/stats.hpp"
 
@@ -35,6 +37,28 @@ TEST(Ecdf, Percentiles) {
   EXPECT_EQ(ecdf.percentile(0.5), 50);
   EXPECT_EQ(ecdf.percentile(0.999), 100);
   EXPECT_EQ(ecdf.percentile(0.01), 1);
+}
+
+// Regression: nearest-rank must agree with the integer oracle at every
+// whole-percent p. The double product p·n is not always exact (0.07·100 =
+// 7.000000000000001), and a raw ceil turned those into an off-by-one rank.
+TEST(Ecdf, PercentileMatchesIntegerOracleAtEveryWholePercent) {
+  Ecdf ecdf;
+  for (int v = 1; v <= 100; ++v) ecdf.add(v);  // value v == rank v
+  for (int percent = 1; percent <= 100; ++percent) {
+    const double p = static_cast<double>(percent) / 100.0;
+    // ceil(percent·100 / 100) == percent exactly, in integers.
+    EXPECT_EQ(ecdf.percentile(p), percent) << "p = " << p;
+  }
+}
+
+TEST(Ecdf, PercentileFractionalRanksStillRoundUp) {
+  Ecdf ecdf;
+  for (int v = 1; v <= 10; ++v) ecdf.add(v);
+  EXPECT_EQ(ecdf.percentile(0.05), 1);   // rank ceil(0.5) = 1
+  EXPECT_EQ(ecdf.percentile(0.11), 2);   // rank ceil(1.1) = 2
+  EXPECT_EQ(ecdf.percentile(0.95), 10);  // rank ceil(9.5) = 10
+  EXPECT_EQ(ecdf.percentile(1.0), 10);
 }
 
 TEST(Ecdf, CountsAboveAndOf) {
@@ -107,6 +131,22 @@ TEST(Export, FreqCsvEscapesAndOrders) {
   EXPECT_NE(csv.find("\"with,comma\",20,"), std::string::npos);
   // Descending by count: the comma entry first.
   EXPECT_LT(csv.find("with,comma"), csv.find("plain"));
+}
+
+// RFC 4180: a bare carriage return inside a cell must be quoted just like
+// a line feed, or \r\n-aware CSV readers split the record.
+TEST(Export, CsvQuotesCarriageReturns) {
+  Table table({"k"});
+  table.add_row({"line\rbreak"});
+  EXPECT_NE(table.to_csv().find("\"line\rbreak\""), std::string::npos);
+}
+
+TEST(Export, AddRowRejectsWrongArity) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(table.add_row({"1", "2", "3"}), std::invalid_argument);
+  table.add_row({"1", "2"});
+  EXPECT_NE(table.to_csv().find("1,2"), std::string::npos);
 }
 
 TEST(Export, TableCsvAndJson) {

@@ -1,0 +1,164 @@
+// Tests for the shared bench flag vocabulary (bench/bench_common.hpp):
+// every parsed flag must land in BenchFlags AND survive the apply()
+// hand-off into scanner::ParallelOptions (--trace-format once fell
+// through that gap), and environment parsing must reject garbage instead
+// of atoll-ing it into surprising numbers.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+
+namespace zh::bench {
+namespace {
+
+/// Builds a mutable argv (parse_flags takes char**, as main does).
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : storage_(std::move(args)) {
+    for (auto& arg : storage_) pointers_.push_back(arg.data());
+    pointers_.push_back(nullptr);
+  }
+  int argc() const { return static_cast<int>(storage_.size()); }
+  char** argv() { return pointers_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> pointers_;
+};
+
+/// Scoped environment override (unset on destruction).
+class EnvVar {
+ public:
+  EnvVar(const char* name, const char* value) : name_(name) {
+    setenv(name, value, 1);
+  }
+  ~EnvVar() { unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+TEST(BenchFlags, EveryFlagLandsInFlagsAndOptions) {
+  Argv argv({"bench", "--jobs", "3", "--loss", "0.25", "--retries", "5",
+             "--timeout", "1500", "--latency", "20", "--jitter", "4",
+             "--trace", "/tmp/t.jsonl", "--trace-format", "chrome"});
+  const BenchFlags flags = parse_flags(argv.argc(), argv.argv());
+  EXPECT_EQ(flags.jobs, 3u);
+  EXPECT_DOUBLE_EQ(flags.loss, 0.25);
+  EXPECT_EQ(flags.retry.attempts, 5u);
+  EXPECT_EQ(flags.retry.timeout.millis(), 1500);
+  EXPECT_DOUBLE_EQ(flags.latency_ms, 20.0);
+  EXPECT_DOUBLE_EQ(flags.jitter_ms, 4.0);
+  EXPECT_EQ(flags.trace_path, "/tmp/t.jsonl");
+  EXPECT_EQ(flags.trace_format, trace::Format::kChrome);
+  EXPECT_EQ(flags.exe, "bench");
+
+  // The apply() hand-off: nothing parsed may stop short of the engine.
+  scanner::ParallelOptions options{.base_seed = 7};
+  flags.apply(options);
+  EXPECT_EQ(options.jobs, 3u);
+  EXPECT_DOUBLE_EQ(options.loss_probability, 0.25);
+  EXPECT_EQ(options.retry.attempts, 5u);
+  EXPECT_EQ(options.retry.timeout.millis(), 1500);
+  EXPECT_TRUE(options.trace.enabled);
+  EXPECT_EQ(options.trace.format, trace::Format::kChrome);  // the regression
+  EXPECT_EQ(options.shard_index, 0u);
+  EXPECT_EQ(options.shard_count, 1u);
+}
+
+TEST(BenchFlags, EqualsFormAndShortJobsWork) {
+  Argv argv({"bench", "--jobs=4", "--loss=0.5", "--trace-format=chrome"});
+  const BenchFlags flags = parse_flags(argv.argc(), argv.argv());
+  EXPECT_EQ(flags.jobs, 4u);
+  EXPECT_DOUBLE_EQ(flags.loss, 0.5);
+  EXPECT_EQ(flags.trace_format, trace::Format::kChrome);
+
+  Argv argv2({"bench", "-j6"});
+  EXPECT_EQ(parse_flags(argv2.argc(), argv2.argv()).jobs, 6u);
+}
+
+TEST(BenchFlags, WorkerModeFlagsApplyAsSubShard) {
+  Argv argv({"bench", "--jobs", "2", "--shard", "1", "--of", "3",
+             "--emit-shard", "/tmp/base"});
+  const BenchFlags flags = parse_flags(argv.argc(), argv.argv());
+  EXPECT_TRUE(flags.worker_mode());
+  EXPECT_EQ(flags.shard, 1u);
+  EXPECT_EQ(flags.of, 3u);
+  EXPECT_EQ(flags.emit_shard, "/tmp/base");
+
+  scanner::ParallelOptions options;
+  flags.apply(options);
+  EXPECT_EQ(options.jobs, 2u);
+  EXPECT_EQ(options.shard_index, 1u);
+  EXPECT_EQ(options.shard_count, 3u);
+}
+
+TEST(BenchFlags, MergeShardsConsumesRemainingArguments) {
+  Argv argv({"bench", "--jobs", "2", "--merge-shards", "a.bin", "b.bin",
+             "c.bin"});
+  const BenchFlags flags = parse_flags(argv.argc(), argv.argv());
+  EXPECT_TRUE(flags.merge_mode());
+  EXPECT_EQ(flags.merge_shards,
+            (std::vector<std::string>{"a.bin", "b.bin", "c.bin"}));
+}
+
+TEST(BenchFlags, WorkerArgsExcludeOrchestrationAndTraceFlags) {
+  Argv argv({"bench", "--jobs", "2", "--procs", "4", "--loss", "0.1",
+             "--trace", "/tmp/t", "--trace-format", "chrome", "--retries=7"});
+  const BenchFlags flags = parse_flags(argv.argc(), argv.argv());
+  EXPECT_EQ(flags.procs, 4u);
+  // Workers inherit workload flags, never fan-out or trace flags.
+  EXPECT_EQ(flags.worker_args, (std::vector<std::string>{
+                                   "--jobs", "2", "--loss", "0.1",
+                                   "--retries=7"}));
+}
+
+TEST(BenchFlags, ProcsZeroMeansAllHardwareThreads) {
+  Argv argv({"bench", "--procs", "0"});
+  const BenchFlags flags = parse_flags(argv.argc(), argv.argv());
+  EXPECT_EQ(flags.procs, scanner::default_jobs());
+  Argv argv2({"bench", "--procs", "-3"});
+  EXPECT_EQ(parse_flags(argv2.argc(), argv2.argv()).procs, 1u);
+}
+
+TEST(BenchEnv, RejectsNegativeAndGarbageIntegers) {
+  {
+    EnvVar env("ZH_TEST_U64", "-3");
+    EXPECT_EQ(env_u64("ZH_TEST_U64", 42), 42u);
+  }
+  {
+    EnvVar env("ZH_TEST_U64", "banana");
+    EXPECT_EQ(env_u64("ZH_TEST_U64", 7), 7u);
+  }
+  {
+    EnvVar env("ZH_TEST_U64", "12abc");
+    EXPECT_EQ(env_u64("ZH_TEST_U64", 7), 7u);
+  }
+  {
+    EnvVar env("ZH_TEST_U64", "99");
+    EXPECT_EQ(env_u64("ZH_TEST_U64", 7), 99u);
+  }
+  EXPECT_EQ(env_u64("ZH_TEST_U64_UNSET", 5), 5u);
+}
+
+TEST(BenchEnv, BadRetriesAndProcsFallBackToDefaults) {
+  {
+    EnvVar retries("ZH_RETRIES", "-2");
+    EnvVar procs("ZH_PROCS", "nope");
+    Argv argv({"bench"});
+    const BenchFlags flags = parse_flags(argv.argc(), argv.argv());
+    EXPECT_EQ(flags.retry.attempts, simtime::RetryPolicy{}.attempts);
+    EXPECT_EQ(flags.procs, 1u);
+  }
+  {
+    EnvVar procs("ZH_PROCS", "3");
+    Argv argv({"bench"});
+    EXPECT_EQ(parse_flags(argv.argc(), argv.argv()).procs, 3u);
+  }
+}
+
+}  // namespace
+}  // namespace zh::bench

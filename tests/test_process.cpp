@@ -1,0 +1,292 @@
+// End-to-end tests for multi-process campaign scale-out
+// (scanner/process.hpp): K forked worker processes, each running shard
+// s-of-K through the normal parallel engine and emitting a serialised
+// artefact, must merge back to results *byte-identical* to the serial and
+// the in-process --jobs runs.
+//
+// This binary has a custom main: when spawned with --worker-domain /
+// --worker-sweep it acts as a shard worker (the role the bench binaries
+// play in production), otherwise it runs the gtest suite. Workers use
+// jobs=2 internally, so every K also exercises the process×thread residue
+// composition (K procs × 2 threads ≡ one process at --jobs 2K).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/serialize.hpp"
+#include "scanner/process.hpp"
+#include "scanner/serialize.hpp"
+#include "workload/install.hpp"
+#include "workload/resolver_population.hpp"
+
+namespace zh::scanner {
+namespace {
+
+/// Worker-side thread count: >1 so process sharding composes with thread
+/// sharding in every test.
+constexpr unsigned kWorkerJobs = 2;
+
+workload::EcosystemSpec test_spec() {
+  return workload::EcosystemSpec({.scale = 0.00002, .seed = 42});
+}
+
+workload::PanelSpec test_panel() {
+  using resolver::ResolverProfile;
+  workload::PanelSpec panel;
+  panel.panel = workload::Panel::kOpenV4;
+  panel.validator_count = 18;
+  panel.non_validator_count = 4;
+  panel.entries = {
+      {ResolverProfile::bind9_2021(), 0.4, ""},
+      {ResolverProfile::google_public_dns(), 0.25, ""},
+      {ResolverProfile::cloudflare(), 0.2, ""},
+      {ResolverProfile::strict_zero(), 0.1, ""},
+      {ResolverProfile::item12_gap(), 0.05, ""},
+  };
+  return panel;
+}
+
+ParallelOptions run_options(unsigned jobs, unsigned shard, unsigned of) {
+  ParallelOptions options{.jobs = jobs, .base_seed = 42};
+  options.shard_index = shard;
+  options.shard_count = of;
+  return options;
+}
+
+ParallelCampaignResult run_domain(unsigned jobs, unsigned shard = 0,
+                                  unsigned of = 1) {
+  const workload::EcosystemSpec spec = test_spec();
+  return run_domain_campaign_parallel(spec, default_world_factory(spec),
+                                      run_options(jobs, shard, of));
+}
+
+ParallelSweepResult run_sweep(unsigned jobs, unsigned shard = 0,
+                              unsigned of = 1) {
+  const workload::EcosystemSpec spec = test_spec();
+  return run_resolver_sweep_parallel(
+      test_panel(), default_world_factory(spec, /*with_domains=*/false),
+      "tproc-", 1u << 21, run_options(jobs, shard, of));
+}
+
+/// Canonical bytes of a campaign result, normalised to a fixed envelope so
+/// serial / --jobs K / K-process results can be compared byte-for-byte.
+/// The hash-work tally is zeroed: every worker signs its own world, so
+/// cost scales with the worker count by design — it is mode-equal (K
+/// processes ≡ --jobs K·J in-process, asserted separately below), not
+/// jobs-invariant like the statistics.
+std::vector<std::uint8_t> canonical_bytes(
+    const ParallelCampaignResult& result) {
+  DomainShardArtefact artefact;
+  artefact.tag = "canon";
+  artefact.shard = 0;
+  artefact.of = 1;
+  artefact.jobs = 1;  // deliberately NOT result.jobs: jobs must not matter
+  artefact.stats = result.stats;
+  artefact.records = result.records;
+  artefact.queries_issued = result.queries_issued;
+  return encode_artefact(artefact);
+}
+
+std::vector<std::uint8_t> canonical_bytes(const ParallelSweepResult& result) {
+  SweepShardArtefact artefact;
+  artefact.tag = "canon";
+  artefact.shard = 0;
+  artefact.of = 1;
+  artefact.jobs = 1;
+  artefact.stats = result.stats;
+  artefact.queries_issued = result.queries_issued;
+  artefact.population = result.population;
+  return encode_artefact(artefact);
+}
+
+void expect_same_cost(const CostTally& a, const CostTally& b) {
+  EXPECT_EQ(a.sha1_blocks, b.sha1_blocks);
+  EXPECT_EQ(a.sha2_blocks, b.sha2_blocks);
+  EXPECT_EQ(a.nsec3_hashes, b.nsec3_hashes);
+}
+
+/// Spawns K workers of this binary and returns their artefact paths.
+std::vector<std::string> spawn_workers(const char* role, unsigned procs,
+                                       std::string& dir) {
+  std::string error;
+  dir = make_shard_dir(error);
+  EXPECT_FALSE(dir.empty()) << error;
+  const std::string base = dir + "/shard";
+  EXPECT_TRUE(spawn_shard_workers("/proc/self/exe", {role}, procs, base,
+                                  error))
+      << error;
+  std::vector<std::string> paths;
+  for (unsigned shard = 0; shard < procs; ++shard)
+    paths.push_back(base + ".s" + std::to_string(shard));
+  return paths;
+}
+
+void cleanup(const std::vector<std::string>& paths, const std::string& dir) {
+  for (const auto& path : paths) std::remove(path.c_str());
+  if (!dir.empty()) std::remove(dir.c_str());
+}
+
+TEST(ProcessCampaign, KProcessCampaignMatchesInProcess) {
+  const ParallelCampaignResult serial = run_domain(1);
+  ASSERT_GT(serial.stats.scanned, 0u);
+  const std::vector<std::uint8_t> want = canonical_bytes(serial);
+
+  for (const unsigned procs : {1u, 2u, 4u}) {
+    SCOPED_TRACE(procs);
+    // In-process equivalent of the same global partition.
+    const ParallelCampaignResult in_process =
+        run_domain(procs * kWorkerJobs);
+    EXPECT_EQ(canonical_bytes(in_process), want);
+
+    std::string dir;
+    const std::vector<std::string> paths =
+        spawn_workers("--worker-domain", procs, dir);
+    ParallelCampaignResult merged;
+    std::string error;
+    ASSERT_TRUE(merge_domain_shards(paths, "t", merged, error)) << error;
+    EXPECT_EQ(merged.jobs, procs * kWorkerJobs);
+    EXPECT_EQ(canonical_bytes(merged), want);
+    // Hash-work cost is per-worker-world, so it matches the in-process run
+    // with the same global worker count (not the serial run).
+    expect_same_cost(merged.cost, in_process.cost);
+    cleanup(paths, dir);
+  }
+}
+
+TEST(ProcessCampaign, KProcessSweepMatchesInProcess) {
+  const ParallelSweepResult serial = run_sweep(1);
+  ASSERT_EQ(serial.stats.probed, 22u);
+  const std::vector<std::uint8_t> want = canonical_bytes(serial);
+
+  for (const unsigned procs : {1u, 2u, 4u}) {
+    SCOPED_TRACE(procs);
+    const ParallelSweepResult in_process = run_sweep(procs * kWorkerJobs);
+    EXPECT_EQ(canonical_bytes(in_process), want);
+
+    std::string dir;
+    const std::vector<std::string> paths =
+        spawn_workers("--worker-sweep", procs, dir);
+    ParallelSweepResult merged;
+    std::string error;
+    ASSERT_TRUE(merge_sweep_shards(paths, "t", merged, error)) << error;
+    EXPECT_EQ(merged.population, serial.population);
+    EXPECT_EQ(canonical_bytes(merged), want);
+    expect_same_cost(merged.cost, in_process.cost);
+    cleanup(paths, dir);
+  }
+}
+
+TEST(ProcessCampaign, SubShardOptionsPartitionTheCampaign) {
+  // Directly via ParallelOptions (no fork): the 3 sub-shards of a 3-way
+  // split, each itself running 2 threads, merge back to the serial run.
+  const ParallelCampaignResult serial = run_domain(1);
+  DomainCampaignStats merged_stats;
+  std::vector<CompactDomainRecord> records;
+  std::uint64_t queries = 0;
+  for (unsigned shard = 0; shard < 3; ++shard) {
+    const ParallelCampaignResult part = run_domain(kWorkerJobs, shard, 3);
+    merged_stats.merge(part.stats);
+    records.insert(records.end(), part.records.begin(), part.records.end());
+    queries += part.queries_issued;
+  }
+  std::sort(records.begin(), records.end(),
+            [](const CompactDomainRecord& a, const CompactDomainRecord& b) {
+              return a.index < b.index;
+            });
+  EXPECT_EQ(merged_stats.scanned, serial.stats.scanned);
+  EXPECT_EQ(queries, serial.queries_issued);
+  ASSERT_EQ(records.size(), serial.records.size());
+  for (std::size_t i = 0; i < records.size(); ++i)
+    EXPECT_EQ(records[i].index, serial.records[i].index) << i;
+}
+
+TEST(ProcessCampaign, MergeRejectsIncompleteAndForeignSets) {
+  std::string dir;
+  const std::vector<std::string> paths =
+      spawn_workers("--worker-domain", 2, dir);
+
+  ParallelCampaignResult merged;
+  std::string error;
+  // Wrong tag: nothing matches.
+  EXPECT_FALSE(merge_domain_shards(paths, "other", merged, error));
+  EXPECT_NE(error.find("no shard artefact"), std::string::npos) << error;
+  // Missing shard: incomplete set.
+  EXPECT_FALSE(merge_domain_shards({paths[0]}, "t", merged, error));
+  EXPECT_NE(error.find("incomplete"), std::string::npos) << error;
+  // Duplicate shard.
+  EXPECT_FALSE(
+      merge_domain_shards({paths[0], paths[0], paths[1]}, "t", merged, error));
+  EXPECT_NE(error.find("duplicate"), std::string::npos) << error;
+  // A corrupted file fails typed, and the merge reports which file.
+  {
+    auto bytes = *analysis::read_bytes_file(paths[1]);
+    bytes[bytes.size() / 2] ^= 0x40;
+    ASSERT_TRUE(analysis::write_bytes_file(paths[1], bytes));
+    EXPECT_FALSE(merge_domain_shards(paths, "t", merged, error));
+    EXPECT_NE(error.find(paths[1]), std::string::npos) << error;
+  }
+  cleanup(paths, dir);
+}
+
+/// Shard-worker role: runs its sub-shard in-process and writes the
+/// artefact — the same job a bench binary does under --emit-shard.
+int worker_main(int argc, char** argv, bool domain) {
+  unsigned shard = 0, of = 1;
+  std::string emit;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--shard") == 0 && i + 1 < argc)
+      shard = static_cast<unsigned>(std::atoi(argv[++i]));
+    else if (std::strcmp(argv[i], "--of") == 0 && i + 1 < argc)
+      of = static_cast<unsigned>(std::atoi(argv[++i]));
+    else if (std::strcmp(argv[i], "--emit-shard") == 0 && i + 1 < argc)
+      emit = argv[++i];
+  }
+  if (emit.empty() || of == 0 || shard >= of) return 2;
+  const std::string path = emit + ".s" + std::to_string(shard);
+  std::vector<std::uint8_t> bytes;
+  if (domain) {
+    const ParallelCampaignResult result = run_domain(kWorkerJobs, shard, of);
+    DomainShardArtefact artefact;
+    artefact.tag = "t";
+    artefact.shard = shard;
+    artefact.of = of;
+    artefact.jobs = result.jobs;
+    artefact.stats = result.stats;
+    artefact.records = result.records;
+    artefact.queries_issued = result.queries_issued;
+    artefact.cost = result.cost;
+    bytes = encode_artefact(artefact);
+  } else {
+    const ParallelSweepResult result = run_sweep(kWorkerJobs, shard, of);
+    SweepShardArtefact artefact;
+    artefact.tag = "t";
+    artefact.shard = shard;
+    artefact.of = of;
+    artefact.jobs = result.jobs;
+    artefact.stats = result.stats;
+    artefact.queries_issued = result.queries_issued;
+    artefact.population = result.population;
+    artefact.cost = result.cost;
+    bytes = encode_artefact(artefact);
+  }
+  return analysis::write_bytes_file(path, bytes) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace zh::scanner
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--worker-domain") == 0)
+      return zh::scanner::worker_main(argc, argv, /*domain=*/true);
+    if (std::strcmp(argv[i], "--worker-sweep") == 0)
+      return zh::scanner::worker_main(argc, argv, /*domain=*/false);
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

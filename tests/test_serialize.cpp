@@ -1,0 +1,297 @@
+// Property tests for the shard-artefact codec (analysis/serialize.hpp +
+// scanner/serialize.hpp): canonical round-trips are byte-identical, and
+// every corrupted buffer — truncated, bit-flipped, version-bumped,
+// foreign-magic, trailing-garbage — fails with a typed error instead of
+// reading out of bounds. run_sanitizers.sh runs this suite under ASan/
+// UBSan, which is what turns "fails cleanly" into a checked claim.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <vector>
+
+#include "analysis/serialize.hpp"
+#include "scanner/serialize.hpp"
+
+namespace zh::scanner {
+namespace {
+
+DomainShardArtefact sample_domain_artefact() {
+  DomainShardArtefact artefact;
+  artefact.tag = "domain#0";
+  artefact.shard = 1;
+  artefact.of = 4;
+  artefact.jobs = 2;
+  artefact.queries_issued = 12345;
+  artefact.cost = {.sha1_blocks = 777, .sha2_blocks = 88, .nsec3_hashes = 9};
+
+  DomainCampaignStats& s = artefact.stats;
+  s.scanned = 1000;
+  s.dnssec = 88;
+  s.nsec3 = 52;
+  s.excluded = 3;
+  s.iterations.add(0, 12);
+  s.iterations.add(10, 30);
+  s.iterations.add(500, 10);
+  s.salt_len.add(0, 5);
+  s.salt_len.add(8, 40);
+  s.salt_len.add(160, 7);
+  s.zero_iterations = 12;
+  s.no_salt = 5;
+  s.fully_compliant = 4;
+  s.opt_out = 6;
+  s.over_150_iterations = 10;
+  s.at_500_iterations = 10;
+  s.salt_over_10 = 7;
+  s.salt_over_45 = 7;
+  s.salt_at_160 = 7;
+  s.operators.add("cloudflare", 20);
+  s.operators.add("godaddy", 12);
+  s.operator_params["cloudflare"].add("0/0", 20);
+  s.operator_params["godaddy"].add("1/8", 10);
+  s.operator_params["godaddy"].add("5/8", 2);
+  s.scan_latency_us.add(1500, 3);
+  s.timeouts = 2;
+  s.queue_delay_us.add(10, 1);
+  s.queue_drops = 1;
+  s.stage_resolve_us.add(1400, 3);
+  s.stage_recurse_us.add(700, 3);
+  s.stage_validate_us.add(300, 2);
+  s.stage_queue_wait_us.add(9, 1);
+
+  for (std::uint32_t i = 0; i < 40; ++i) {
+    CompactDomainRecord record;
+    record.index = i * 4 + 1;
+    record.classification = DomainScanResult::Class::kNsec3Enabled;
+    record.iterations = static_cast<std::uint16_t>(i);
+    record.salt_len = static_cast<std::uint8_t>(i % 16);
+    record.opt_out = (i % 3) == 0;
+    artefact.records.push_back(record);
+  }
+  return artefact;
+}
+
+SweepShardArtefact sample_sweep_artefact() {
+  SweepShardArtefact artefact;
+  artefact.tag = "sweep#2";
+  artefact.shard = 0;
+  artefact.of = 2;
+  artefact.jobs = 3;
+  artefact.queries_issued = 99991;
+  artefact.population = 512;
+  artefact.cost = {.sha1_blocks = 11, .sha2_blocks = 22, .nsec3_hashes = 33};
+
+  ResolverSweepStats& s = artefact.stats;
+  s.probed = 512;
+  s.validators = 301;
+  s.by_iteration[0] = {.nxdomain = 300, .nxdomain_ad = 250, .servfail = 1,
+                       .timeouts = 0, .total = 301};
+  s.by_iteration[151] = {.nxdomain = 240, .nxdomain_ad = 60, .servfail = 55,
+                         .timeouts = 6, .total = 301};
+  s.item6 = 180;
+  s.item8 = 55;
+  s.item7_violations = 1;
+  s.item12_gaps = 13;
+  s.ede_on_limit = 40;
+  s.insecure_limits[50] = 12;
+  s.insecure_limits[150] = 150;
+  s.servfail_limits[0] = 4;
+  s.servfail_limits[100] = 9;
+  s.probe_latency_us.add(2500, 301);
+  s.timeouts = 6;
+  s.queue_delay_us.add(1, 2);
+  s.queue_drops = 0;
+  s.stop_answering = 3;
+  s.stage_resolve_us.add(2400, 301);
+  s.stage_recurse_us.add(1200, 301);
+  s.stage_validate_us.add(500, 120);
+  s.stage_queue_wait_us.add(2, 2);
+  return artefact;
+}
+
+TEST(ShardCodec, DomainRoundTripIsByteIdentical) {
+  const DomainShardArtefact artefact = sample_domain_artefact();
+  const std::vector<std::uint8_t> bytes = encode_artefact(artefact);
+
+  DomainShardArtefact decoded;
+  analysis::DecodeError error;
+  ASSERT_TRUE(decode_artefact(bytes, decoded, error)) << error.to_string();
+  EXPECT_EQ(decoded.tag, artefact.tag);
+  EXPECT_EQ(decoded.shard, artefact.shard);
+  EXPECT_EQ(decoded.of, artefact.of);
+  EXPECT_EQ(decoded.jobs, artefact.jobs);
+  EXPECT_EQ(decoded.queries_issued, artefact.queries_issued);
+  EXPECT_EQ(decoded.records.size(), artefact.records.size());
+  EXPECT_EQ(decoded.stats.scanned, artefact.stats.scanned);
+  EXPECT_EQ(decoded.stats.operator_params.size(),
+            artefact.stats.operator_params.size());
+  // Canonical form: re-encoding the decoded artefact reproduces the exact
+  // bytes (map iteration is sorted; nothing depends on insertion order).
+  EXPECT_EQ(encode_artefact(decoded), bytes);
+}
+
+TEST(ShardCodec, SweepRoundTripIsByteIdentical) {
+  const SweepShardArtefact artefact = sample_sweep_artefact();
+  const std::vector<std::uint8_t> bytes = encode_artefact(artefact);
+
+  SweepShardArtefact decoded;
+  analysis::DecodeError error;
+  ASSERT_TRUE(decode_artefact(bytes, decoded, error)) << error.to_string();
+  EXPECT_EQ(decoded.tag, artefact.tag);
+  EXPECT_EQ(decoded.population, artefact.population);
+  EXPECT_EQ(decoded.stats.by_iteration.size(),
+            artefact.stats.by_iteration.size());
+  EXPECT_EQ(decoded.stats.by_iteration.at(151).servfail,
+            artefact.stats.by_iteration.at(151).servfail);
+  EXPECT_EQ(encode_artefact(decoded), bytes);
+}
+
+TEST(ShardCodec, PeekRoutesByKindAndTag) {
+  const auto domain_bytes = encode_artefact(sample_domain_artefact());
+  const auto sweep_bytes = encode_artefact(sample_sweep_artefact());
+  ArtefactKind kind;
+  std::string tag;
+  analysis::DecodeError error;
+  ASSERT_TRUE(peek_artefact(domain_bytes, kind, tag, error));
+  EXPECT_EQ(kind, ArtefactKind::kDomainCampaign);
+  EXPECT_EQ(tag, "domain#0");
+  ASSERT_TRUE(peek_artefact(sweep_bytes, kind, tag, error));
+  EXPECT_EQ(kind, ArtefactKind::kResolverSweep);
+  EXPECT_EQ(tag, "sweep#2");
+}
+
+TEST(ShardCodec, EveryTruncatedPrefixFailsCleanly) {
+  const auto bytes = encode_artefact(sample_domain_artefact());
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    const std::span<const std::uint8_t> prefix(bytes.data(), len);
+    DomainShardArtefact out;
+    analysis::DecodeError error;
+    EXPECT_FALSE(decode_artefact(prefix, out, error)) << "prefix " << len;
+    EXPECT_TRUE(error) << "prefix " << len;
+  }
+}
+
+TEST(ShardCodec, EverySingleBitFlipIsDetected) {
+  const auto bytes = encode_artefact(sample_sweep_artefact());
+  for (std::size_t byte = 0; byte < bytes.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<std::uint8_t> corrupt = bytes;
+      corrupt[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      SweepShardArtefact out;
+      analysis::DecodeError error;
+      // The trailing FNV-1a checksum is a bijection per input byte, so any
+      // flip either trips a structural check first or lands on kChecksum.
+      EXPECT_FALSE(decode_artefact(corrupt, out, error))
+          << "byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST(ShardCodec, VersionBumpIsRejected) {
+  auto bytes = encode_artefact(sample_domain_artefact());
+  bytes[4] = static_cast<std::uint8_t>(kShardFormatVersion + 1);  // LE u16
+  DomainShardArtefact out;
+  analysis::DecodeError error;
+  EXPECT_FALSE(decode_artefact(bytes, out, error));
+  EXPECT_EQ(error.code, analysis::DecodeErrc::kBadVersion);
+  // peek refuses too: a future layout must not be half-parsed.
+  ArtefactKind kind;
+  std::string tag;
+  EXPECT_FALSE(peek_artefact(bytes, kind, tag, error));
+}
+
+TEST(ShardCodec, ForeignMagicIsRejected) {
+  auto bytes = encode_artefact(sample_domain_artefact());
+  bytes[0] = 'X';
+  DomainShardArtefact out;
+  analysis::DecodeError error;
+  EXPECT_FALSE(decode_artefact(bytes, out, error));
+  EXPECT_EQ(error.code, analysis::DecodeErrc::kBadMagic);
+}
+
+TEST(ShardCodec, TrailingBytesAreRejected) {
+  auto bytes = encode_artefact(sample_domain_artefact());
+  bytes.push_back(0);
+  DomainShardArtefact out;
+  analysis::DecodeError error;
+  EXPECT_FALSE(decode_artefact(bytes, out, error));
+}
+
+TEST(ShardCodec, WrongKindIsRejected) {
+  const auto sweep_bytes = encode_artefact(sample_sweep_artefact());
+  DomainShardArtefact out;
+  analysis::DecodeError error;
+  EXPECT_FALSE(decode_artefact(sweep_bytes, out, error));
+  EXPECT_EQ(error.code, analysis::DecodeErrc::kBadValue);
+}
+
+TEST(ShardCodec, NonCanonicalPayloadIsRejected) {
+  // Handcraft an Ecdf with duplicate keys: canonical decoders must refuse
+  // (duplicates would make re-encode ≠ original and merges ambiguous).
+  analysis::Encoder enc;
+  enc.u64(2);
+  enc.i64(5);
+  enc.u64(1);
+  enc.i64(5);  // duplicate key
+  enc.u64(1);
+  const auto bytes = enc.take();
+  analysis::Decoder dec(bytes);
+  analysis::Ecdf out;
+  EXPECT_FALSE(analysis::decode(dec, out));
+  EXPECT_EQ(dec.error().code, analysis::DecodeErrc::kBadValue);
+
+  // Zero counts are equally non-canonical (merge algebra never emits them).
+  analysis::Encoder enc2;
+  enc2.u64(1);
+  enc2.i64(5);
+  enc2.u64(0);
+  const auto bytes2 = enc2.take();
+  analysis::Decoder dec2(bytes2);
+  analysis::Ecdf out2;
+  EXPECT_FALSE(analysis::decode(dec2, out2));
+}
+
+TEST(ShardCodec, EcdfAndFreqTableRoundTrip) {
+  analysis::Ecdf ecdf;
+  ecdf.add(-3, 2);
+  ecdf.add(0, 100);
+  ecdf.add(1 << 20, 1);
+  analysis::FreqTable table;
+  table.add("alpha", 3);
+  table.add("beta", 44);
+
+  analysis::Encoder enc;
+  analysis::encode(enc, ecdf);
+  analysis::encode(enc, table);
+  const auto bytes = enc.take();
+
+  analysis::Decoder dec(bytes);
+  analysis::Ecdf ecdf2;
+  analysis::FreqTable table2;
+  ASSERT_TRUE(analysis::decode(dec, ecdf2));
+  ASSERT_TRUE(analysis::decode(dec, table2));
+  ASSERT_TRUE(dec.expect_end());
+  EXPECT_EQ(ecdf2.histogram(), ecdf.histogram());
+  EXPECT_EQ(table2.raw(), table.raw());
+
+  analysis::Encoder enc2;
+  analysis::encode(enc2, ecdf2);
+  analysis::encode(enc2, table2);
+  EXPECT_EQ(enc2.take(), bytes);
+}
+
+TEST(ShardCodec, FileRoundTrip) {
+  const auto bytes = encode_artefact(sample_domain_artefact());
+  const std::string path =
+      ::testing::TempDir() + "/zh_shard_artefact_test.bin";
+  ASSERT_TRUE(analysis::write_bytes_file(path, bytes));
+  const auto back = analysis::read_bytes_file(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, bytes);
+  std::remove(path.c_str());
+  EXPECT_FALSE(analysis::read_bytes_file(path).has_value());
+}
+
+}  // namespace
+}  // namespace zh::scanner
