@@ -15,6 +15,9 @@
 //   ZH_TRACE_FORMAT    jsonl | chrome (also --trace-format F; default jsonl)
 //   ZH_PROCS           worker processes (default 1; also --procs N; 0 = all
 //                      hardware threads) — see bench_procs.hpp
+//   ZH_ENGINE          blocking | async scan engine (also --engine E)
+//   ZH_MAX_INFLIGHT    concurrent resolutions per worker when the async
+//                      engine is selected (also --max-inflight N)
 #pragma once
 
 #include <cerrno>
@@ -23,6 +26,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -70,6 +74,9 @@ inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
 ///   --jitter MS                 uniform RTT jitter in milliseconds
 ///   --trace FILE                write the merged event trace to FILE
 ///   --trace-format F            jsonl (default) or chrome
+///   --engine E                  blocking (default) or async scan engine —
+///                               campaign outputs are engine-invariant
+///   --max-inflight N            concurrent resolutions per worker (async)
 ///   --procs N                   worker processes (0 = all hardware threads)
 ///   --shard S --of K            run only process sub-shard S of K
 ///   --emit-shard BASE           write shard artefacts under BASE (worker
@@ -83,6 +90,10 @@ struct BenchFlags {
   simtime::RetryPolicy retry{};
   double latency_ms = 0.0;
   double jitter_ms = 0.0;
+  /// Scan engine per worker thread; outputs are engine-invariant, so this
+  /// is purely a throughput knob (see scanner/async_engine.hpp).
+  scanner::Engine engine = scanner::Engine::kBlocking;
+  std::size_t max_inflight = 1024;
   std::string trace_path;
   trace::Format trace_format = trace::Format::kJsonl;
   /// Process-level fan-out (bench_procs.hpp). 1 = in-process only.
@@ -125,6 +136,8 @@ struct BenchFlags {
   /// the engine (--trace-format used to).
   void apply(scanner::ParallelOptions& options) const {
     options.jobs = jobs;
+    options.engine = engine;
+    options.max_inflight = max_inflight;
     options.loss_probability = loss;
     options.retry = retry;
     options.latency = latency_model(options.base_seed);
@@ -136,6 +149,13 @@ struct BenchFlags {
     }
   }
 };
+
+/// "blocking" / "async" → the engine enum; nullopt for anything else.
+inline std::optional<scanner::Engine> parse_engine(const char* name) {
+  if (std::strcmp(name, "blocking") == 0) return scanner::Engine::kBlocking;
+  if (std::strcmp(name, "async") == 0) return scanner::Engine::kAsync;
+  return std::nullopt;
+}
 
 /// Parses the shared flag vocabulary; environment variables (ZH_JOBS,
 /// ZH_LOSS, ZH_RETRIES, ZH_TIMEOUT_MS, ZH_LATENCY_MS, ZH_JITTER_MS) give
@@ -154,6 +174,16 @@ inline BenchFlags parse_flags(int argc, char** argv) {
               static_cast<std::uint64_t>(flags.retry.timeout.millis()))));
   flags.latency_ms = env_double("ZH_LATENCY_MS", 0.0);
   flags.jitter_ms = env_double("ZH_JITTER_MS", 0.0);
+  if (const char* engine = std::getenv("ZH_ENGINE")) {
+    if (const auto parsed = parse_engine(engine)) {
+      flags.engine = *parsed;
+    } else {
+      std::fprintf(stderr, "# unknown ZH_ENGINE '%s' (blocking|async)\n",
+                   engine);
+    }
+  }
+  flags.max_inflight = static_cast<std::size_t>(
+      env_u64("ZH_MAX_INFLIGHT", flags.max_inflight));
   if (const char* path = std::getenv("ZH_TRACE")) flags.trace_path = path;
   if (const char* format = std::getenv("ZH_TRACE_FORMAT")) {
     if (const auto parsed = trace::parse_format(format))
@@ -190,6 +220,15 @@ inline BenchFlags parse_flags(int argc, char** argv) {
       flags.latency_ms = std::atof(v);
     } else if (const char* v = value_of(i, "--jitter")) {
       flags.jitter_ms = std::atof(v);
+    } else if (const char* v = value_of(i, "--engine")) {
+      if (const auto parsed = parse_engine(v)) {
+        flags.engine = *parsed;
+      } else {
+        std::fprintf(stderr, "# unknown --engine '%s' (blocking|async)\n", v);
+      }
+    } else if (const char* v = value_of(i, "--max-inflight")) {
+      const long parsed = std::atol(v);
+      if (parsed > 0) flags.max_inflight = static_cast<std::size_t>(parsed);
     } else if (const char* v = value_of(i, "--trace-format")) {
       forward = false;
       if (const auto parsed = trace::parse_format(v)) {

@@ -1,0 +1,120 @@
+#include "scanner/async_engine.hpp"
+
+namespace zh::scanner {
+
+void QueryTask::begin(const FlowQuery& query, simtime::Duration now,
+                      std::uint16_t& next_id) {
+  query_ = query;
+  round_ = 0;
+  logical_attempts_ = 0;
+  logical_start_ = now;
+  begin_exchange(next_id);
+  state_ = State::kSend;
+}
+
+void QueryTask::begin_exchange(std::uint16_t& next_id) {
+  wire_ = dns::Message::make_query(next_id++, query_.qname, query_.type,
+                                   /*dnssec_ok=*/true);
+  if (query_.cd) wire_.header.cd = true;
+  attempt_ = 0;
+  exchange_attempts_ = 0;
+}
+
+QueryTask::Step QueryTask::drive(simnet::Network& network,
+                                 const simnet::IpAddress& source,
+                                 const simnet::IpAddress& destination,
+                                 const simtime::RetryPolicy& retry,
+                                 std::uint64_t token, std::uint16_t& next_id,
+                                 std::uint64_t& queries,
+                                 simtime::Duration now) {
+  for (;;) {
+    switch (state_) {
+      case State::kSend: {
+        ++exchange_attempts_;
+        // A retry is a retransmission — count it, as simnet::exchange does.
+        if (attempt_ > 0) network.tracer().count("client.retransmit");
+        network.send_async(source, destination, wire_, token);
+        simnet::CompletionEvent event = network.pop_completion();
+        if (!event.response) {
+          if (!network.is_attached(destination)) {
+            // Unreachable: retransmitting cannot help; the exchange settles
+            // on the spot with one attempt spent and no timeout accounted.
+            response_.reset();
+            if (settle(retry, next_id, queries, /*timed_out=*/false, now))
+              continue;
+            return Step{false, now};
+          }
+          // No answer: park until this attempt's timeout — the async form
+          // of the blocking engine's clock advance by attempt_timeout().
+          // The timeout counts from completed_at, not the send instant: a
+          // handler-level drop (the "stop answering" cohort) still runs the
+          // delivery — RTT plus service time — before yielding nothing, and
+          // the blocking exchange starts its wait from that advanced clock.
+          // For a plain network loss completed_at == the send instant.
+          state_ = State::kRetryBackoff;
+          return Step{true,
+                      event.completed_at + retry.attempt_timeout(attempt_)};
+        }
+        // Delivered: the network already ran the exchange on this task's
+        // timeline; park until the response's arrival instant.
+        response_ = std::move(event.response);
+        state_ = State::kAwaitResponse;
+        return Step{true, event.completed_at};
+      }
+      case State::kAwaitResponse: {
+        if (response_->header.tc && retry.tcp_on_truncation) {
+          ++exchange_attempts_;
+          // TCP is loss-exempt in the simulation (see simnet::exchange);
+          // keep the truncated answer if it ever failed.
+          if (auto tcp = network.send_tcp(source, destination, wire_))
+            response_ = std::move(tcp);
+          now = network.clock().now();
+        }
+        if (settle(retry, next_id, queries, /*timed_out=*/false, now))
+          continue;
+        return Step{false, now};
+      }
+      case State::kRetryBackoff: {
+        ++attempt_;
+        if (attempt_ < std::max(1u, retry.attempts)) {
+          state_ = State::kSend;
+          continue;
+        }
+        response_.reset();
+        if (settle(retry, next_id, queries, /*timed_out=*/true, now))
+          continue;
+        return Step{false, now};
+      }
+      case State::kIdle:
+      case State::kDone:
+        return Step{false, now};
+    }
+  }
+}
+
+bool QueryTask::settle(const simtime::RetryPolicy& retry,
+                       std::uint16_t& next_id, std::uint64_t& queries,
+                       bool timed_out, simtime::Duration now) {
+  queries += exchange_attempts_;
+  logical_attempts_ += exchange_attempts_;
+  // Transient SERVFAILs (RFC 8914 EDE 22/23) re-ask up to the retry budget,
+  // exactly like execute_logical_query's round loop.
+  const unsigned rounds = std::max(1u, retry.attempts);
+  if (response_ && simnet::transient_servfail(*response_) &&
+      round_ + 1 < rounds) {
+    ++round_;
+    begin_exchange(next_id);
+    state_ = State::kSend;
+    return true;
+  }
+  outcome_ = FlowOutcome{};
+  outcome_.response = std::move(response_);
+  response_.reset();
+  outcome_.timed_out = timed_out;
+  outcome_.attempts = logical_attempts_;
+  outcome_.latency = now - logical_start_;
+  state_ = State::kDone;
+  return false;
+}
+
+}  // namespace zh::scanner

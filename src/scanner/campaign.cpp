@@ -1,7 +1,9 @@
 #include "scanner/campaign.hpp"
 
 #include <algorithm>
+#include <vector>
 
+#include "scanner/async_engine.hpp"
 #include "simnet/exchange.hpp"
 
 namespace zh::scanner {
@@ -92,55 +94,116 @@ void DomainCampaign::run_shard(std::size_t shard, std::size_t shards,
     const DomainScanResult result = scanner_.scan(profile.apex);
     const simtime::QueueCounters& queue_after =
         internet_.network().queue_counters();
-
-    ++stats_.scanned;
-    stats_.scan_latency_us.add(result.elapsed.micros());
-    stats_.timeouts += result.timeouts;
-    stats_.queue_delay_us.add(static_cast<std::int64_t>(
-        (queue_after.wait_ns - queue_before.wait_ns) / 1000));
-    stats_.queue_drops += queue_after.dropped - queue_before.dropped;
-    stats_.add_stages(trace::stage_delta(
-        internet_.network().tracer().stages(), stages_before));
-    CompactDomainRecord record;
-    record.index = static_cast<std::uint32_t>(index);
-    record.classification = result.classification;
-
-    if (result.dnskey) ++stats_.dnssec;
-    if (result.classification == DomainScanResult::Class::kExcluded)
-      ++stats_.excluded;
-
-    if (result.classification == DomainScanResult::Class::kNsec3Enabled) {
-      ++stats_.nsec3;
-      const auto& nsec3 = *result.nsec3;
-      record.iterations = nsec3.iterations;
-      record.salt_len = static_cast<std::uint8_t>(
-          std::min<std::size_t>(nsec3.salt.size(), 255));
-      record.opt_out = nsec3.opt_out;
-
-      stats_.iterations.add(nsec3.iterations);
-      stats_.salt_len.add(static_cast<std::int64_t>(nsec3.salt.size()));
-      if (nsec3.iterations == 0) ++stats_.zero_iterations;
-      if (nsec3.salt.empty()) ++stats_.no_salt;
-      if (nsec3.iterations == 0 && nsec3.salt.empty())
-        ++stats_.fully_compliant;
-      if (nsec3.opt_out) ++stats_.opt_out;
-      if (nsec3.iterations > 150) ++stats_.over_150_iterations;
-      if (nsec3.iterations == 500) ++stats_.at_500_iterations;
-      if (nsec3.salt.size() > 10) ++stats_.salt_over_10;
-      if (nsec3.salt.size() > 45) ++stats_.salt_over_45;
-      if (nsec3.salt.size() == 160) ++stats_.salt_at_160;
-
-      const std::string op = exclusive_operator(result.ns_names);
-      if (!op.empty()) {
-        stats_.operators.add(op);
-        stats_.operator_params[op].add(
-            std::to_string(nsec3.iterations) + "/" +
-            std::to_string(nsec3.salt.size()));
-      }
-    }
-    by_index_[record.index] = records_.size();
-    records_.push_back(record);
+    accumulate_scan(index, result,
+                    queue_after.wait_ns - queue_before.wait_ns,
+                    queue_after.dropped - queue_before.dropped,
+                    trace::stage_delta(internet_.network().tracer().stages(),
+                                       stages_before));
   }
+}
+
+void DomainCampaign::run_shard_async(std::size_t shard, std::size_t shards,
+                                     std::size_t limit, std::size_t stride,
+                                     std::size_t max_inflight) {
+  warm_tld_caches();
+  const std::size_t count = std::min(limit, spec_.domain_count());
+  std::vector<std::size_t> indexes;
+  for (std::size_t position = shard;; position += shards) {
+    const std::size_t index = position * stride;
+    if (index >= count || index / stride != position) break;  // overflow
+    indexes.push_back(index);
+  }
+
+  AsyncOptions options;
+  options.max_inflight = max_inflight;
+  options.retry = retry_;
+  AsyncEngine<DomainScanFlow> engine(internet_.network(), source_, options);
+  struct FinishedScan {
+    DomainScanResult result;
+    TaskTotals totals;
+  };
+  std::vector<FinishedScan> finished(indexes.size());
+  engine.run(
+      indexes.size(),
+      [&](std::size_t position) {
+        const workload::DomainProfile profile =
+            spec_.domain(indexes[position]);
+        AsyncItem<DomainScanFlow> item;
+        item.index = indexes[position];
+        item.flow_key =
+            simtime::fnv1a(profile.apex.canonical().to_string());
+        item.destination = scan_resolver_;
+        item.flow = DomainScanFlow(
+            profile.apex, [this] { return async_probe_token_++; });
+        return item;
+      },
+      [&](std::size_t position, DomainScanFlow& flow,
+          const TaskTotals& totals) {
+        finished[position] = FinishedScan{flow.take_result(), totals};
+      });
+  async_queries_ += engine.queries_issued();
+
+  // Fold in position order — the blocking loop's order — so stats_ and
+  // records_ accumulate through the identical operation sequence.
+  for (std::size_t position = 0; position < indexes.size(); ++position) {
+    FinishedScan& scan = finished[position];
+    scan.result.elapsed = scan.totals.elapsed;
+    scan.result.timeouts = static_cast<unsigned>(scan.totals.timeouts);
+    accumulate_scan(indexes[position], scan.result,
+                    scan.totals.queue_wait_ns, scan.totals.queue_drops,
+                    scan.totals.stages);
+  }
+}
+
+void DomainCampaign::accumulate_scan(std::size_t index,
+                                     const DomainScanResult& result,
+                                     std::uint64_t queue_wait_ns,
+                                     std::uint64_t queue_drops,
+                                     const trace::StageTotals&
+                                         stage_delta_ns) {
+  ++stats_.scanned;
+  stats_.scan_latency_us.add(result.elapsed.micros());
+  stats_.timeouts += result.timeouts;
+  stats_.queue_delay_us.add(static_cast<std::int64_t>(queue_wait_ns / 1000));
+  stats_.queue_drops += queue_drops;
+  stats_.add_stages(stage_delta_ns);
+  CompactDomainRecord record;
+  record.index = static_cast<std::uint32_t>(index);
+  record.classification = result.classification;
+
+  if (result.dnskey) ++stats_.dnssec;
+  if (result.classification == DomainScanResult::Class::kExcluded)
+    ++stats_.excluded;
+
+  if (result.classification == DomainScanResult::Class::kNsec3Enabled) {
+    ++stats_.nsec3;
+    const auto& nsec3 = *result.nsec3;
+    record.iterations = nsec3.iterations;
+    record.salt_len = static_cast<std::uint8_t>(
+        std::min<std::size_t>(nsec3.salt.size(), 255));
+    record.opt_out = nsec3.opt_out;
+
+    stats_.iterations.add(nsec3.iterations);
+    stats_.salt_len.add(static_cast<std::int64_t>(nsec3.salt.size()));
+    if (nsec3.iterations == 0) ++stats_.zero_iterations;
+    if (nsec3.salt.empty()) ++stats_.no_salt;
+    if (nsec3.iterations == 0 && nsec3.salt.empty()) ++stats_.fully_compliant;
+    if (nsec3.opt_out) ++stats_.opt_out;
+    if (nsec3.iterations > 150) ++stats_.over_150_iterations;
+    if (nsec3.iterations == 500) ++stats_.at_500_iterations;
+    if (nsec3.salt.size() > 10) ++stats_.salt_over_10;
+    if (nsec3.salt.size() > 45) ++stats_.salt_over_45;
+    if (nsec3.salt.size() == 160) ++stats_.salt_at_160;
+
+    const std::string op = exclusive_operator(result.ns_names);
+    if (!op.empty()) {
+      stats_.operators.add(op);
+      stats_.operator_params[op].add(std::to_string(nsec3.iterations) + "/" +
+                                     std::to_string(nsec3.salt.size()));
+    }
+  }
+  by_index_[record.index] = records_.size();
+  records_.push_back(record);
 }
 
 void DomainCampaignStats::merge(const DomainCampaignStats& other) {

@@ -105,6 +105,17 @@ class DomainCampaign {
                  std::size_t limit = static_cast<std::size_t>(-1),
                  std::size_t stride = 1);
 
+  /// run_shard over the async engine (scanner/async_engine.hpp): the same
+  /// visit set driven as up to `max_inflight` concurrent per-query state
+  /// machines on this thread. Stats, records and query counts are
+  /// byte-identical to run_shard's — per-item observations are flow-keyed
+  /// and time-local, and the aggregation folds finished scans in position
+  /// order, exactly like the blocking loop.
+  void run_shard_async(std::size_t shard, std::size_t shards,
+                       std::size_t limit = static_cast<std::size_t>(-1),
+                       std::size_t stride = 1,
+                       std::size_t max_inflight = 1024);
+
   const DomainCampaignStats& stats() const noexcept { return stats_; }
   const std::vector<CompactDomainRecord>& records() const noexcept {
     return records_;
@@ -113,10 +124,17 @@ class DomainCampaign {
   const CompactDomainRecord* record_for(std::size_t index) const;
 
   std::uint64_t queries_issued() const noexcept {
-    return scanner_.queries_issued();
+    return scanner_.queries_issued() + async_queries_;
   }
 
  private:
+  /// Folds one finished scan into stats_/records_ — the shared aggregation
+  /// tail of run_shard (blocking) and run_shard_async. The deltas are the
+  /// item's own queue-counter and tracer-stage movements.
+  void accumulate_scan(std::size_t index, const DomainScanResult& result,
+                       std::uint64_t queue_wait_ns,
+                       std::uint64_t queue_drops,
+                       const trace::StageTotals& stage_delta_ns);
   /// With a time model active, resolves every census TLD's DNSKEY and every
   /// hosting operator's NS-host address once, so the scan resolver's
   /// root/TLD/operator caches are warm before the first scan. Shards then
@@ -131,6 +149,8 @@ class DomainCampaign {
   simnet::IpAddress source_;
   simtime::RetryPolicy retry_;
   DomainScanner scanner_;
+  std::uint64_t async_queries_ = 0;      // run_shard_async's wire attempts
+  std::uint64_t async_probe_token_ = 0;  // run_shard_async's token counter
   DomainCampaignStats stats_;
   std::vector<CompactDomainRecord> records_;
   std::map<std::uint32_t, std::size_t> by_index_;

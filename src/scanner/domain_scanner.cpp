@@ -1,18 +1,8 @@
 #include "scanner/domain_scanner.hpp"
 
-#include <algorithm>
-#include <cstdio>
-
-#include "simnet/exchange.hpp"
+#include "scanner/scan_flow.hpp"
 
 namespace zh::scanner {
-namespace {
-
-using dns::Message;
-using dns::Name;
-using dns::RrType;
-
-}  // namespace
 
 DomainScanner::DomainScanner(simnet::Network& network,
                              simnet::IpAddress source,
@@ -23,127 +13,20 @@ DomainScanner::DomainScanner(simnet::Network& network,
       resolver_(resolver),
       retry_(retry) {}
 
-std::optional<Message> DomainScanner::query(const Name& qname, RrType type) {
-  // A transient SERVFAIL (upstream loss or resolver deadline, marked with
-  // RFC 8914 EDE 22/23) is a transport fate, not a property of the domain:
-  // re-ask up to the retry budget so moderate loss cannot flip a
-  // classification. Deterministic SERVFAILs pass through on the first try.
-  const unsigned rounds = std::max(1u, retry_.attempts);
-  simnet::ExchangeOutcome ex;
-  for (unsigned round = 0; round < rounds; ++round) {
-    Message q = Message::make_query(next_id_++, qname, type,
-                                    /*dnssec_ok=*/true);
-    q.header.cd = true;  // measurement queries bypass upstream validation
-    ex = simnet::exchange(network_, source_, resolver_, q, retry_);
-    queries_ += ex.attempts;
-    if (!ex.response || !simnet::transient_servfail(*ex.response)) break;
-  }
-  last_timed_out_ = ex.timed_out;
-  if (ex.timed_out) ++scan_timeouts_;
-  return ex.response;
-}
-
-DomainScanResult DomainScanner::scan(const Name& apex) {
+DomainScanResult DomainScanner::scan(const dns::Name& apex) {
   // Flow-key the scan on the apex, so this domain's loss/jitter draws do
   // not depend on how many queries earlier scans issued — the property
   // that keeps sharded campaigns identical for any worker count.
   network_.set_flow(simtime::fnv1a(apex.canonical().to_string()));
-  scan_timeouts_ = 0;
   const simtime::Duration start = network_.clock().now();
-  DomainScanResult result = scan_impl(apex);
+  DomainScanFlow flow(apex, [this] { return probe_token_++; });
+  while (const FlowQuery* q = flow.pending()) {
+    flow.feed(execute_logical_query(network_, source_, resolver_, *q, retry_,
+                                    next_id_, queries_));
+  }
+  DomainScanResult result = flow.take_result();
   result.elapsed = network_.clock().now() - start;
-  result.timeouts = scan_timeouts_;
-  return result;
-}
-
-DomainScanResult DomainScanner::scan_impl(const Name& apex) {
-  DomainScanResult result;
-  result.apex = apex;
-
-  // 1. DNSKEY.
-  const auto dnskey_response = query(apex, RrType::kDnskey);
-  if (!dnskey_response) {
-    result.timed_out = last_timed_out_;
-    return result;  // kUnresponsive
-  }
-  result.dnskey =
-      !dnskey_response->answers_of_type(RrType::kDnskey).empty();
-  if (!result.dnskey) {
-    result.classification = DomainScanResult::Class::kNoDnssec;
-    return result;
-  }
-
-  // 2. NSEC3PARAM + NS.
-  if (const auto response = query(apex, RrType::kNsec3Param)) {
-    const auto params = response->answers_of_type(RrType::kNsec3Param);
-    result.nsec3param_count = params.size();
-    if (params.size() == 1) {
-      result.nsec3param = params.front().as<dns::Nsec3ParamRdata>();
-    }
-  }
-  if (const auto response = query(apex, RrType::kNs)) {
-    for (const auto& rr : response->answers_of_type(RrType::kNs)) {
-      if (const auto ns = rr.as<dns::NsRdata>())
-        result.ns_names.push_back(ns->nsdname);
-    }
-  }
-
-  // 3. Negative probe: a random subdomain triggers either an NXDOMAIN or a
-  //    wildcard expansion — both carry NSEC3 records when the zone has them.
-  //    Fixed-width token: NSEC3 hashing cost depends on the name's length,
-  //    so a padded counter keeps per-scan service time independent of how
-  //    many scans ran before (another worker-count invariance requirement).
-  char token[24];
-  std::snprintf(token, sizeof token, "zz-scan-%08llu",
-                static_cast<unsigned long long>(probe_token_++));
-  const Name probe_name = *apex.prepended(token);
-  const auto negative = query(probe_name, RrType::kA);
-  if (negative) {
-    Nsec3Observation observation;
-    bool first = true;
-    std::size_t nsec3_records = 0;
-    for (const auto& section :
-         {negative->authorities, negative->answers}) {
-      for (const auto& rr : section) {
-        if (rr.type == RrType::kNsec) result.nsec_seen = true;
-        if (rr.type != RrType::kNsec3) continue;
-        const auto rdata = rr.as<dns::Nsec3Rdata>();
-        if (!rdata) continue;
-        ++nsec3_records;
-        if (first) {
-          observation.iterations = rdata->iterations;
-          observation.salt = rdata->salt;
-          first = false;
-        } else if (rdata->iterations != observation.iterations ||
-                   rdata->salt != observation.salt) {
-          observation.records_consistent = false;  // RFC 5155 violation
-        }
-        if (rdata->opt_out()) observation.opt_out = true;
-      }
-    }
-    if (nsec3_records > 0) {
-      if (result.nsec3param) {
-        observation.matches_nsec3param =
-            result.nsec3param->iterations == observation.iterations &&
-            result.nsec3param->salt == observation.salt;
-      }
-      result.nsec3 = std::move(observation);
-    }
-  }
-
-  // 4. Classification per §4.1.
-  if (result.nsec3param_count > 1) {
-    result.classification = DomainScanResult::Class::kExcluded;
-  } else if (result.nsec3param_count == 1 && result.nsec3 &&
-             result.nsec3->records_consistent &&
-             result.nsec3->matches_nsec3param) {
-    result.classification = DomainScanResult::Class::kNsec3Enabled;
-  } else if (result.nsec3param_count == 1 || result.nsec3) {
-    // NSEC3 machinery present but inconsistent / half-visible.
-    result.classification = DomainScanResult::Class::kExcluded;
-  } else {
-    result.classification = DomainScanResult::Class::kDnssecNoNsec3;
-  }
+  result.timeouts = flow.timeouts();
   return result;
 }
 

@@ -84,9 +84,6 @@ class DomainScanner {
   std::uint64_t queries_issued() const noexcept { return queries_; }
 
  private:
-  DomainScanResult scan_impl(const dns::Name& apex);
-  std::optional<dns::Message> query(const dns::Name& qname, dns::RrType type);
-
   simnet::Network& network_;
   simnet::IpAddress source_;
   simnet::IpAddress resolver_;
@@ -94,8 +91,6 @@ class DomainScanner {
   std::uint16_t next_id_ = 1;
   std::uint64_t probe_token_ = 0;
   std::uint64_t queries_ = 0;
-  unsigned scan_timeouts_ = 0;   // timeouts within the scan in flight
-  bool last_timed_out_ = false;  // the most recent query()'s fate
 };
 
 }  // namespace zh::scanner

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "crypto/cost_meter.hpp"
+#include "scanner/async_engine.hpp"
 #include "scanner/resolver_prober.hpp"
 #include "workload/install.hpp"
 
@@ -139,9 +140,16 @@ ParallelCampaignResult run_domain_campaign_parallel(
     // span·jobs) — the union over processes and threads tiles the serial
     // visit order exactly (see ParallelOptions::shard_index).
     const unsigned span = shard_span(options);
-    campaign.run_shard(options.shard_index + span * shard,
-                       static_cast<std::size_t>(span) * jobs, options.limit,
-                       options.stride);
+    if (options.engine == Engine::kAsync) {
+      campaign.run_shard_async(options.shard_index + span * shard,
+                               static_cast<std::size_t>(span) * jobs,
+                               options.limit, options.stride,
+                               options.max_inflight);
+    } else {
+      campaign.run_shard(options.shard_index + span * shard,
+                         static_cast<std::size_t>(span) * jobs, options.limit,
+                         options.stride);
+    }
     out.stats = campaign.stats();
     out.records = campaign.records();
     out.queries = campaign.queries_issued();
@@ -200,8 +208,6 @@ ParallelSweepResult run_resolver_sweep_parallel(
     // probes its own members. Instantiation is cheap next to probing.
     workload::BuiltPopulation population = workload::instantiate_panel(
         *world.internet, panel, address_base, options.population_seed);
-    ResolverProber prober(world.internet->network(), shard_source(shard),
-                          world.probe_zones, options.retry);
     // Global residue of this worker thread within the span·jobs-way
     // partition (span = process-level sub-shards; see the campaign path).
     const unsigned span = shard_span(options);
@@ -209,17 +215,62 @@ ParallelSweepResult run_resolver_sweep_parallel(
     const std::size_t global_jobs = static_cast<std::size_t>(span) * jobs;
     // Exactly one worker across all processes reports the population.
     if (global_shard == 0) out.population = population.members.size();
-    trace::Tracer& tracer = world.internet->network().tracer();
+    std::vector<std::size_t> members;
     for (std::size_t j = global_shard; j < population.members.size();
-         j += global_jobs) {
-      const trace::StageTotals stages_before = tracer.stages();
-      out.stats.add(prober.probe(population.members[j].address,
-                                 token_prefix + std::to_string(j)));
-      out.stats.add_stages(
-          trace::stage_delta(tracer.stages(), stages_before));
+         j += global_jobs)
+      members.push_back(j);
+    if (options.engine == Engine::kAsync) {
+      AsyncOptions async_options;
+      async_options.max_inflight = options.max_inflight;
+      async_options.retry = options.retry;
+      AsyncEngine<ProbeFlow> engine(world.internet->network(),
+                                    shard_source(shard), async_options);
+      struct FinishedProbe {
+        ResolverProbeResult result;
+        TaskTotals totals;
+      };
+      std::vector<FinishedProbe> finished(members.size());
+      engine.run(
+          members.size(),
+          [&](std::size_t position) {
+            const std::size_t j = members[position];
+            const std::string token = token_prefix + std::to_string(j);
+            AsyncItem<ProbeFlow> item;
+            item.index = j;
+            item.flow_key = simtime::fnv1a(token);
+            item.destination = population.members[j].address;
+            item.flow = ProbeFlow(&world.probe_zones, token);
+            return item;
+          },
+          [&](std::size_t position, ProbeFlow& flow,
+              const TaskTotals& totals) {
+            finished[position] = FinishedProbe{flow.take_result(), totals};
+          });
+      // Fold in member order — the blocking loop's order.
+      for (FinishedProbe& probe : finished) {
+        probe.result.timeouts = probe.totals.timeouts;
+        probe.result.elapsed = probe.totals.elapsed;
+        probe.result.queue_wait = simtime::Duration::from_ns(
+            static_cast<std::int64_t>(probe.totals.queue_wait_ns));
+        probe.result.queue_drops = probe.totals.queue_drops;
+        out.stats.add(probe.result);
+        out.stats.add_stages(probe.totals.stages);
+      }
+      out.queries = engine.queries_issued();
+    } else {
+      ResolverProber prober(world.internet->network(), shard_source(shard),
+                            world.probe_zones, options.retry);
+      trace::Tracer& tracer = world.internet->network().tracer();
+      for (const std::size_t j : members) {
+        const trace::StageTotals stages_before = tracer.stages();
+        out.stats.add(prober.probe(population.members[j].address,
+                                   token_prefix + std::to_string(j)));
+        out.stats.add_stages(
+            trace::stage_delta(tracer.stages(), stages_before));
+      }
+      out.queries = prober.queries_issued();
     }
-    out.queries = prober.queries_issued();
-    out.trace = tracer.take();
+    out.trace = world.internet->network().tracer().take();
     out.cost = read_worker_cost();
   });
 

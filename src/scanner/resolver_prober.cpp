@@ -1,18 +1,8 @@
 #include "scanner/resolver_prober.hpp"
 
-#include <algorithm>
-
-#include "simnet/exchange.hpp"
+#include "scanner/scan_flow.hpp"
 
 namespace zh::scanner {
-namespace {
-
-using dns::Message;
-using dns::Name;
-using dns::Rcode;
-using dns::RrType;
-
-}  // namespace
 
 ResolverProber::ResolverProber(simnet::Network& network,
                                simnet::IpAddress source,
@@ -23,158 +13,25 @@ ResolverProber::ResolverProber(simnet::Network& network,
       specs_(std::move(specs)),
       retry_(retry) {}
 
-ZoneObservation ResolverProber::ask(const simnet::IpAddress& resolver,
-                                    const Name& qname) {
-  ZoneObservation observation;
-  // Re-ask on transient SERVFAILs (RFC 8914 EDE 22/23) just like the
-  // domain scanner: a lost upstream packet must not masquerade as the
-  // probed resolver's Item-8 policy. Deterministic SERVFAILs come back
-  // unchanged on every round and are recorded after the first.
-  const unsigned rounds = std::max(1u, retry_.attempts);
-  const simtime::Duration start = network_.clock().now();
-  simnet::ExchangeOutcome ex;
-  unsigned attempts = 0;
-  for (unsigned round = 0; round < rounds; ++round) {
-    Message query = Message::make_query(next_id_++, qname, RrType::kA,
-                                        /*dnssec_ok=*/true);
-    ex = simnet::exchange(network_, source_, resolver, query, retry_);
-    queries_ += ex.attempts;
-    attempts += ex.attempts;
-    if (!ex.response || !simnet::transient_servfail(*ex.response)) break;
-  }
-  observation.attempts = attempts;
-  observation.latency = network_.clock().now() - start;
-  observation.timed_out = ex.timed_out;
-  if (ex.timed_out) ++probe_timeouts_;
-  const auto& response = ex.response;
-  if (!response) return observation;
-  observation.responsive = true;
-  observation.rcode = response->header.rcode;
-  observation.ad = response->header.ad;
-  observation.ra = response->header.ra;
-  if (response->edns) {
-    if (const auto ede = response->edns->ede()) {
-      observation.ede = ede->info_code;
-      observation.ede_text = ede->extra_text;
-    }
-  }
-  return observation;
-}
-
 ResolverProbeResult ResolverProber::probe(const simnet::IpAddress& resolver,
                                           const std::string& token) {
-  ResolverProbeResult result;
   // Flow-key the probe on its (unique) token, so this resolver's loss and
   // jitter draws are independent of the rest of the population sweep.
   network_.set_flow(simtime::fnv1a(token));
-  probe_timeouts_ = 0;
   const simtime::Duration start = network_.clock().now();
   const simtime::QueueCounters queue_before = network_.queue_counters();
-  const auto finish = [&] {
-    result.timeouts = probe_timeouts_;
-    result.elapsed = network_.clock().now() - start;
-    const simtime::QueueCounters& queue_after = network_.queue_counters();
-    result.queue_wait = simtime::Duration::from_ns(
-        static_cast<std::int64_t>(queue_after.wait_ns - queue_before.wait_ns));
-    result.queue_drops = queue_after.dropped - queue_before.dropped;
-  };
-
-  const auto name_in = [&](const testbed::ProbeZone& spec,
-                           bool wildcard) -> Name {
-    // <token>.wc.<zone> hits the wildcard (NOERROR path);
-    // <token>.nx.<zone> elicits NXDOMAIN (DESIGN.md §4).
-    const auto branch = spec.apex.prepended(wildcard ? "wc" : "nx");
-    return *branch->prepended(token);
-  };
-
-  const testbed::ProbeZone* valid = nullptr;
-  const testbed::ProbeZone* expired = nullptr;
-  const testbed::ProbeZone* item7 = nullptr;
-  std::vector<const testbed::ProbeZone*> its;
-  for (const auto& spec : specs_) {
-    if (spec.label == "valid") valid = &spec;
-    else if (spec.label == "expired") expired = &spec;
-    else if (spec.label == "it-2501-expired") item7 = &spec;
-    else its.push_back(&spec);
+  ProbeFlow flow(&specs_, token);
+  while (const FlowQuery* q = flow.pending()) {
+    flow.feed(execute_logical_query(network_, source_, resolver, *q, retry_,
+                                    next_id_, queries_));
   }
-
-  // Validator detection (§4.2): NOERROR+AD for valid, SERVFAIL for expired.
-  if (valid) result.valid_zone = ask(resolver, name_in(*valid, true));
-  if (expired) result.expired_zone = ask(resolver, name_in(*expired, true));
-  result.responsive = result.valid_zone.responsive;
-  result.timed_out = result.valid_zone.timed_out;
-  result.validator = result.valid_zone.responsive &&
-                     result.valid_zone.rcode == Rcode::kNoError &&
-                     result.valid_zone.ad &&
-                     result.expired_zone.rcode == Rcode::kServFail;
-  if (!result.validator) {
-    finish();
-    return result;
-  }
-
-  // The it-N sweep.
-  std::sort(its.begin(), its.end(),
-            [](const testbed::ProbeZone* a, const testbed::ProbeZone* b) {
-              return a->iterations < b->iterations;
-            });
-  for (const auto* spec : its) {
-    const ZoneObservation observation =
-        ask(resolver, name_in(*spec, false));
-    result.sweep.emplace(spec->iterations, observation);
-
-    if (!observation.responsive) {
-      // No answer is not an RCODE: record the "stop answering" onset
-      // instead of letting the default SERVFAIL pollute the inference.
-      if (observation.timed_out && !result.first_timeout)
-        result.first_timeout = spec->iterations;
-      continue;
-    }
-    if (observation.rcode == Rcode::kServFail) {
-      if (!result.first_servfail) {
-        result.first_servfail = spec->iterations;
-        if (observation.ede) result.limit_ede = observation.ede;
-      }
-    } else if (observation.rcode == Rcode::kNxDomain) {
-      if (observation.ad) {
-        result.last_secure = spec->iterations;
-      } else if (!result.first_insecure) {
-        result.first_insecure = spec->iterations;
-        if (observation.ede && !result.limit_ede)
-          result.limit_ede = observation.ede;
-      }
-    }
-  }
-
-  // Inference. The probed grid is dense enough (§4.2) that the value just
-  // below the onset is the enforced limit.
-  const auto probed_below = [&](std::uint16_t onset) -> std::uint16_t {
-    std::uint16_t below = 0;
-    for (const auto& [n, obs] : result.sweep) {
-      if (n < onset) below = n;
-    }
-    return below;
-  };
-  if (result.first_servfail) {
-    result.implements_item8 = true;
-    result.servfail_limit = probed_below(*result.first_servfail);
-  }
-  if (result.first_insecure &&
-      (!result.first_servfail ||
-       *result.first_insecure < *result.first_servfail)) {
-    result.implements_item6 = true;
-    result.insecure_limit = probed_below(*result.first_insecure);
-  }
-  result.item12_gap = result.implements_item6 && result.implements_item8 &&
-                      *result.first_insecure < *result.first_servfail;
-
-  // Item 7: a validator that returns insecure responses above a limit must
-  // still SERVFAIL it-2501-expired (expired NSEC3 signatures).
-  if (result.implements_item6 && item7) {
-    result.item7_zone = ask(resolver, name_in(*item7, false));
-    result.item7_violation =
-        result.item7_zone.rcode == Rcode::kNxDomain;
-  }
-  finish();
+  ResolverProbeResult result = flow.take_result();
+  result.timeouts = flow.timeouts();
+  result.elapsed = network_.clock().now() - start;
+  const simtime::QueueCounters& queue_after = network_.queue_counters();
+  result.queue_wait = simtime::Duration::from_ns(
+      static_cast<std::int64_t>(queue_after.wait_ns - queue_before.wait_ns));
+  result.queue_drops = queue_after.dropped - queue_before.dropped;
   return result;
 }
 

@@ -97,16 +97,12 @@ class ResolverProber {
   std::uint64_t queries_issued() const noexcept { return queries_; }
 
  private:
-  ZoneObservation ask(const simnet::IpAddress& resolver,
-                      const dns::Name& qname);
-
   simnet::Network& network_;
   simnet::IpAddress source_;
   std::vector<testbed::ProbeZone> specs_;
   simtime::RetryPolicy retry_;
   std::uint16_t next_id_ = 1;
   std::uint64_t queries_ = 0;
-  std::uint64_t probe_timeouts_ = 0;  // timeouts within the probe in flight
 };
 
 }  // namespace zh::scanner

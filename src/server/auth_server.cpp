@@ -140,6 +140,13 @@ void AuthoritativeServer::set_lazy_provider(ApexLocator locator,
   cache_capacity_ = cache_capacity;
 }
 
+void AuthoritativeServer::set_lazy_cache_adaptive(
+    std::size_t max_capacity, std::uint64_t resign_threshold) {
+  max_cache_capacity_ = max_capacity;
+  resign_threshold_ = resign_threshold > 0 ? resign_threshold : 1;
+  resigns_at_last_growth_ = lazy_resigns_;
+}
+
 void AuthoritativeServer::set_tracer(trace::Tracer* tracer) {
   tracer_ = tracer;
   if (tracer != nullptr) {
@@ -148,11 +155,13 @@ void AuthoritativeServer::set_tracer(trace::Tracer* tracer) {
     materialise_metric_ = metrics.counter("server.zone_materialise");
     evict_metric_ = metrics.counter("server.zone_evict");
     resign_metric_ = metrics.counter("server.zone_resign");
+    grow_metric_ = metrics.counter("server.zone_cache_grow");
   } else {
     hit_metric_ = nullptr;
     materialise_metric_ = nullptr;
     evict_metric_ = nullptr;
     resign_metric_ = nullptr;
+    grow_metric_ = nullptr;
   }
 }
 
@@ -178,6 +187,20 @@ std::shared_ptr<const Zone> AuthoritativeServer::lazy_zone(
     // just re-signed it from scratch.
     ++lazy_resigns_;
     if (resign_metric_ != nullptr) ++*resign_metric_;
+    // Adaptive sizing: re-signs mean the working set outgrew the cache, and
+    // each one re-hashes the whole zone — far costlier than the memory a
+    // doubling spends. Grow before the insert below so the revived zone is
+    // not immediately re-evicted.
+    if (max_cache_capacity_ > cache_capacity_ &&
+        lazy_resigns_ - resigns_at_last_growth_ >= resign_threshold_) {
+      cache_capacity_ = std::min(max_cache_capacity_, cache_capacity_ * 2);
+      resigns_at_last_growth_ = lazy_resigns_;
+      ++lazy_growths_;
+      if (grow_metric_ != nullptr) ++*grow_metric_;
+      if (tracer_ != nullptr && tracer_->enabled())
+        tracer_->instant("server", "zone.cache_grow",
+                         std::to_string(cache_capacity_));
+    }
   }
   lru_.push_front(apex);
   cache_.emplace(apex, std::make_pair(zone, lru_.begin()));

@@ -49,6 +49,17 @@ class AuthoritativeServer {
   void set_lazy_provider(ApexLocator locator, ZoneProvider provider,
                          std::size_t cache_capacity = 1024);
 
+  /// Lets the LRU size itself from its own pressure counters (the ROADMAP
+  /// "measure, then size by spec" item): whenever `resign_threshold`
+  /// re-signs accumulate since the last growth, the capacity doubles, up
+  /// to `max_capacity` — each growth ticks the server.zone_cache_grow
+  /// metric. A population larger than the initial capacity thus converges
+  /// in O(log max/initial) doublings to a cache that stops re-signing,
+  /// instead of thrashing forever on a hardcoded size. Pass max_capacity
+  /// <= the current capacity to turn adaptation off.
+  void set_lazy_cache_adaptive(std::size_t max_capacity,
+                               std::uint64_t resign_threshold = 1);
+
   /// Answers one query (the simnet node handler body).
   dns::Message handle(const dns::Message& query,
                       const simnet::IpAddress& source) const;
@@ -65,6 +76,10 @@ class AuthoritativeServer {
   /// whole zone — the cost signal behind the ROADMAP "measure, then size by
   /// spec" LRU item.
   std::uint64_t lazy_resigns() const noexcept { return lazy_resigns_; }
+  /// Current lazy-LRU capacity (grows under set_lazy_cache_adaptive).
+  std::size_t lazy_cache_capacity() const noexcept { return cache_capacity_; }
+  /// Capacity doublings performed by the adaptive policy.
+  std::uint64_t lazy_cache_growths() const noexcept { return lazy_growths_; }
 
   /// Attaches a tracer (normally the owning Network's, wired by
   /// testbed::Internet::build): LRU activity ticks the server.zone_*
@@ -84,8 +99,13 @@ class AuthoritativeServer {
   ApexLocator locator_;
   ZoneProvider provider_;
 
-  // LRU cache of lazily materialised zones.
-  std::size_t cache_capacity_ = 1024;
+  // LRU cache of lazily materialised zones. The capacity is mutable because
+  // the adaptive policy grows it from inside the (const) query path.
+  mutable std::size_t cache_capacity_ = 1024;
+  std::size_t max_cache_capacity_ = 0;  // 0 = adaptation off
+  std::uint64_t resign_threshold_ = 1;
+  mutable std::uint64_t lazy_growths_ = 0;
+  mutable std::uint64_t resigns_at_last_growth_ = 0;
   mutable std::list<dns::Name> lru_;
   mutable std::unordered_map<
       dns::Name,
@@ -105,6 +125,7 @@ class AuthoritativeServer {
   trace::Metrics::Counter materialise_metric_ = nullptr;
   trace::Metrics::Counter evict_metric_ = nullptr;
   trace::Metrics::Counter resign_metric_ = nullptr;
+  trace::Metrics::Counter grow_metric_ = nullptr;
 };
 
 }  // namespace zh::server

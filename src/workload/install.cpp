@@ -1,5 +1,7 @@
 #include "workload/install.hpp"
 
+#include <algorithm>
+
 namespace zh::workload {
 
 testbed::DomainConfig domain_config_for(const DomainProfile& profile,
@@ -65,6 +67,13 @@ InstalledEcosystem install_ecosystem(testbed::Internet& internet,
               domain_config_for(profile, spec), host);
         },
         /*cache_capacity=*/256);
+    // Size from the exported server.zone_* counters rather than the
+    // hardcoded 256: re-sign pressure doubles the LRU up to the operator's
+    // worst case — its entire customer base materialised at once. Small
+    // ecosystems never grow; campaign-scale scans converge after a short
+    // doubling ramp instead of re-signing every zone on every pass.
+    handle.server->set_lazy_cache_adaptive(
+        std::max<std::size_t>(256, spec.domain_count()));
   }
 
   // Delegations for the entire synthetic population.

@@ -1,0 +1,324 @@
+// Engine-equivalence suite for the async scan engine
+// (scanner/async_engine.hpp): the tentpole promise is that --engine async
+// produces BYTE-IDENTICAL campaign artefacts to the blocking engine — not
+// merely equal aggregates — for every tested transport shape (clean, loss +
+// jitter + service time, queueing, event tracing), every jobs value, and
+// composed with process-level sub-sharding. The oracle is the canonical
+// shard codec (scanner/serialize.hpp): two runs agree iff their encoded
+// artefacts are the same bytes, which covers stats, ECDF histograms,
+// per-domain records, query counts and the hash-work tally at once.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "scanner/parallel.hpp"
+#include "scanner/process.hpp"
+#include "scanner/serialize.hpp"
+#include "workload/resolver_population.hpp"
+
+namespace zh::scanner {
+namespace {
+
+/// Canonical bytes of a campaign result under a FIXED envelope header, so
+/// two results compare payload-for-payload regardless of how they were
+/// sharded. `with_cost` is dropped only where world-construction hashing
+/// legitimately differs between the two runs being compared.
+std::vector<std::uint8_t> campaign_bytes(const ParallelCampaignResult& result,
+                                         bool with_cost = true) {
+  DomainShardArtefact artefact;
+  artefact.tag = "equiv";
+  artefact.shard = 0;
+  artefact.of = 1;
+  artefact.jobs = 1;
+  artefact.stats = result.stats;
+  artefact.records = result.records;
+  artefact.queries_issued = result.queries_issued;
+  if (with_cost) artefact.cost = result.cost;
+  return encode_artefact(artefact);
+}
+
+std::vector<std::uint8_t> sweep_bytes(const ParallelSweepResult& result) {
+  SweepShardArtefact artefact;
+  artefact.tag = "equiv";
+  artefact.shard = 0;
+  artefact.of = 1;
+  artefact.jobs = 1;
+  artefact.stats = result.stats;
+  artefact.queries_issued = result.queries_issued;
+  artefact.population = result.population;
+  artefact.cost = result.cost;
+  return encode_artefact(artefact);
+}
+
+/// Field-by-field diagnosis for when the byte oracle fails — a raw byte
+/// mismatch says nothing about WHICH aggregate diverged.
+void expect_same_stats(const DomainCampaignStats& a,
+                       const DomainCampaignStats& b) {
+  EXPECT_EQ(a.scanned, b.scanned);
+  EXPECT_EQ(a.dnssec, b.dnssec);
+  EXPECT_EQ(a.nsec3, b.nsec3);
+  EXPECT_EQ(a.excluded, b.excluded);
+  EXPECT_EQ(a.iterations.histogram(), b.iterations.histogram());
+  EXPECT_EQ(a.salt_len.histogram(), b.salt_len.histogram());
+  EXPECT_EQ(a.operators.raw(), b.operators.raw());
+  EXPECT_EQ(a.scan_latency_us.histogram(), b.scan_latency_us.histogram());
+  EXPECT_EQ(a.timeouts, b.timeouts);
+  EXPECT_EQ(a.queue_delay_us.histogram(), b.queue_delay_us.histogram());
+  EXPECT_EQ(a.queue_drops, b.queue_drops);
+  EXPECT_EQ(a.stage_resolve_us.histogram(), b.stage_resolve_us.histogram());
+  EXPECT_EQ(a.stage_recurse_us.histogram(), b.stage_recurse_us.histogram());
+  EXPECT_EQ(a.stage_validate_us.histogram(),
+            b.stage_validate_us.histogram());
+  EXPECT_EQ(a.stage_queue_wait_us.histogram(),
+            b.stage_queue_wait_us.histogram());
+}
+
+void expect_same_sweep(const ResolverSweepStats& a,
+                       const ResolverSweepStats& b) {
+  EXPECT_EQ(a.probed, b.probed);
+  EXPECT_EQ(a.validators, b.validators);
+  ASSERT_EQ(a.by_iteration.size(), b.by_iteration.size());
+  for (const auto& [iterations, shares] : a.by_iteration) {
+    const auto it = b.by_iteration.find(iterations);
+    ASSERT_NE(it, b.by_iteration.end()) << iterations;
+    EXPECT_EQ(shares.nxdomain, it->second.nxdomain) << iterations;
+    EXPECT_EQ(shares.servfail, it->second.servfail) << iterations;
+    EXPECT_EQ(shares.timeouts, it->second.timeouts) << iterations;
+    EXPECT_EQ(shares.total, it->second.total) << iterations;
+  }
+  EXPECT_EQ(a.item6, b.item6);
+  EXPECT_EQ(a.item8, b.item8);
+  EXPECT_EQ(a.item7_violations, b.item7_violations);
+  EXPECT_EQ(a.insecure_limits, b.insecure_limits);
+  EXPECT_EQ(a.servfail_limits, b.servfail_limits);
+  EXPECT_EQ(a.probe_latency_us.histogram(), b.probe_latency_us.histogram());
+  EXPECT_EQ(a.timeouts, b.timeouts);
+  EXPECT_EQ(a.stop_answering, b.stop_answering);
+  EXPECT_EQ(a.queue_delay_us.histogram(), b.queue_delay_us.histogram());
+  EXPECT_EQ(a.queue_drops, b.queue_drops);
+}
+
+/// The full virtual-time stack (loss + jitter + service cost), same shape
+/// the parallel-campaign invariance tests use.
+ParallelOptions time_shaped_options(unsigned jobs) {
+  ParallelOptions options{.jobs = jobs, .base_seed = 42};
+  options.loss_probability = 0.1;
+  options.retry.attempts = 6;  // absorbs 10 % loss: P(miss) = 1e-6
+  options.latency = simtime::LatencyModel(simtime::Duration::from_ms(20),
+                                          simtime::Duration::from_ms(5),
+                                          /*seed=*/42);
+  options.service = {.per_sha1_block = simtime::Duration::from_us(1)};
+  return options;
+}
+
+void expect_engines_byte_identical(const workload::EcosystemSpec& spec,
+                                   const ShardWorldFactory& factory,
+                                   ParallelOptions options) {
+  options.engine = Engine::kBlocking;
+  const ParallelCampaignResult blocking =
+      run_domain_campaign_parallel(spec, factory, options);
+  options.engine = Engine::kAsync;
+  const ParallelCampaignResult async =
+      run_domain_campaign_parallel(spec, factory, options);
+
+  EXPECT_GT(blocking.stats.scanned, 0u);
+  expect_same_stats(blocking.stats, async.stats);
+  EXPECT_EQ(blocking.queries_issued, async.queries_issued);
+  EXPECT_EQ(campaign_bytes(blocking), campaign_bytes(async));
+}
+
+// ISSUE acceptance: the async engine's campaign output is byte-identical
+// to the blocking engine's on a clean network, at every jobs value.
+TEST(AsyncEngineEquivalence, PlainCampaignBytesMatchBlocking) {
+  const workload::EcosystemSpec spec({.scale = 0.00002, .seed = 42});
+  const auto factory = default_world_factory(spec);
+  for (const unsigned jobs : {1u, 2u, 4u}) {
+    SCOPED_TRACE(jobs);
+    expect_engines_byte_identical(spec, factory,
+                                  {.jobs = jobs, .base_seed = 42});
+  }
+}
+
+// The in-flight window size must not be observable: a window of 1 (fully
+// serial), a tiny window of 3 (dense interleaving, constant slot churn)
+// and the default 1024 all produce the same bytes.
+TEST(AsyncEngineEquivalence, WindowSizeIsUnobservable) {
+  const workload::EcosystemSpec spec({.scale = 0.00002, .seed = 42});
+  const auto factory = default_world_factory(spec);
+
+  ParallelOptions options = time_shaped_options(1);
+  options.limit = 200;
+  const ParallelCampaignResult blocking =
+      run_domain_campaign_parallel(spec, factory, options);
+  const std::vector<std::uint8_t> baseline = campaign_bytes(blocking);
+
+  options.engine = Engine::kAsync;
+  for (const std::size_t inflight : {std::size_t{1}, std::size_t{3},
+                                     std::size_t{1024}}) {
+    options.max_inflight = inflight;
+    const ParallelCampaignResult async =
+        run_domain_campaign_parallel(spec, factory, options);
+    SCOPED_TRACE(inflight);
+    expect_same_stats(blocking.stats, async.stats);
+    EXPECT_EQ(baseline, campaign_bytes(async));
+  }
+}
+
+// With loss, jitter and service cost all moving the clock, thousands of
+// concurrent per-query timelines interleave on the wheel — and the latency
+// ECDFs, timeout counts and retransmission totals must still match the
+// blocking engine byte-for-byte.
+TEST(AsyncEngineEquivalence, TimeShapedCampaignBytesMatch) {
+  const workload::EcosystemSpec spec({.scale = 0.00002, .seed = 42});
+  const auto factory = default_world_factory(spec);
+  for (const unsigned jobs : {1u, 4u}) {
+    ParallelOptions options = time_shaped_options(jobs);
+    options.limit = 400;
+    SCOPED_TRACE(jobs);
+    expect_engines_byte_identical(spec, factory, options);
+  }
+}
+
+// Service queueing on top of the time-shaped stack: per-item waits and
+// drops are accrued from counter deltas around each resume, and must sum
+// to exactly the blocking engine's whole-item deltas.
+TEST(AsyncEngineEquivalence, QueueEnabledCampaignBytesMatch) {
+  const workload::EcosystemSpec spec({.scale = 0.00002, .seed = 42});
+  const auto factory = default_world_factory(spec);
+  for (const unsigned jobs : {1u, 4u}) {
+    ParallelOptions options = time_shaped_options(jobs);
+    options.limit = 400;
+    options.queue = {.workers = 2,
+                     .backlog = 8,
+                     .shed = simtime::QueueModel::Shed::kServfail};
+    SCOPED_TRACE(jobs);
+    expect_engines_byte_identical(spec, factory, options);
+  }
+}
+
+// Event tracing enabled: the tracer's stage totals feed the per-scan stage
+// ECDFs, so the delta accounting around resumes is load-bearing here. The
+// raw event streams legitimately interleave differently; the aggregated
+// artefact must not.
+TEST(AsyncEngineEquivalence, TraceEnabledCampaignBytesMatch) {
+  const workload::EcosystemSpec spec({.scale = 0.00002, .seed = 42});
+  const auto factory = default_world_factory(spec);
+  ParallelOptions options = time_shaped_options(2);
+  options.limit = 300;
+  options.trace.enabled = true;
+
+  options.engine = Engine::kBlocking;
+  const ParallelCampaignResult blocking =
+      run_domain_campaign_parallel(spec, factory, options);
+  options.engine = Engine::kAsync;
+  const ParallelCampaignResult async =
+      run_domain_campaign_parallel(spec, factory, options);
+
+  EXPECT_GT(blocking.stats.stage_resolve_us.total(), 0u);
+  expect_same_stats(blocking.stats, async.stats);
+  EXPECT_EQ(campaign_bytes(blocking), campaign_bytes(async));
+  // Both engines emitted real event streams (content may interleave).
+  EXPECT_GT(blocking.trace.events_emitted(), 0u);
+  EXPECT_GT(async.trace.events_emitted(), 0u);
+}
+
+// The §4.2 resolver sweep path: ProbeFlow (valid/expired/it-N sweep/Item 7)
+// through the async engine, including the limit_dropper cohort whose
+// probes time out by design — the hardest timing path to keep identical.
+TEST(AsyncEngineEquivalence, TimeShapedSweepBytesMatch) {
+  using resolver::ResolverProfile;
+  workload::PanelSpec panel;
+  panel.panel = workload::Panel::kOpenV4;
+  panel.validator_count = 12;
+  panel.non_validator_count = 2;
+  panel.entries = {
+      {ResolverProfile::bind9_2021(), 0.4, ""},
+      {ResolverProfile::cloudflare(), 0.3, ""},
+      {ResolverProfile::limit_dropper(), 0.3, ""},
+  };
+
+  const workload::EcosystemSpec spec({.scale = 0.00002, .seed = 42});
+  const auto factory = default_world_factory(spec, /*with_domains=*/false);
+
+  for (const unsigned jobs : {1u, 4u}) {
+    ParallelOptions options = time_shaped_options(jobs);
+    SCOPED_TRACE(jobs);
+
+    options.engine = Engine::kBlocking;
+    const ParallelSweepResult blocking = run_resolver_sweep_parallel(
+        panel, factory, "tasync-", 1u << 22, options);
+    options.engine = Engine::kAsync;
+    const ParallelSweepResult async = run_resolver_sweep_parallel(
+        panel, factory, "tasync-", 1u << 22, options);
+
+    EXPECT_EQ(blocking.stats.validators, 12u);
+    EXPECT_GT(blocking.stats.stop_answering, 0u);  // droppers really time out
+    expect_same_sweep(blocking.stats, async.stats);
+    EXPECT_EQ(blocking.queries_issued, async.queries_issued);
+    EXPECT_EQ(sweep_bytes(blocking), sweep_bytes(async));
+  }
+}
+
+// Composition with process-level sub-sharding (--procs): two async
+// sub-shard runs, serialised through the real artefact files and merged by
+// merge_domain_shards, reproduce the blocking single-process campaign
+// byte-for-byte. Each sub-shard runs jobs=1 so the two runs build exactly
+// as many worlds as the jobs=2 baseline and the hash-work tally matches
+// too, keeping the comparison a FULL artefact byte-compare.
+TEST(AsyncEngineEquivalence, ProcsComposedAsyncShardsMergeToBlocking) {
+  const workload::EcosystemSpec spec({.scale = 0.00002, .seed = 42});
+  const auto factory = default_world_factory(spec);
+
+  ParallelOptions baseline_options = time_shaped_options(2);
+  baseline_options.limit = 300;
+  const ParallelCampaignResult baseline =
+      run_domain_campaign_parallel(spec, factory, baseline_options);
+
+  std::string error;
+  const std::string dir = make_shard_dir(error);
+  ASSERT_FALSE(dir.empty()) << error;
+
+  std::vector<std::string> paths;
+  for (unsigned shard = 0; shard < 2; ++shard) {
+    ParallelOptions options = time_shaped_options(1);
+    options.limit = 300;
+    options.engine = Engine::kAsync;
+    options.shard_index = shard;
+    options.shard_count = 2;
+    const ParallelCampaignResult piece =
+        run_domain_campaign_parallel(spec, factory, options);
+
+    DomainShardArtefact artefact;
+    artefact.tag = "equiv";
+    artefact.shard = shard;
+    artefact.of = 2;
+    artefact.jobs = 1;
+    artefact.stats = piece.stats;
+    artefact.records = piece.records;
+    artefact.queries_issued = piece.queries_issued;
+    artefact.cost = piece.cost;
+    const std::vector<std::uint8_t> bytes = encode_artefact(artefact);
+
+    const std::string path =
+        dir + "/shard-" + std::to_string(shard) + ".zhsa";
+    std::ofstream file(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(file.good()) << path;
+    file.write(reinterpret_cast<const char*>(bytes.data()),
+               static_cast<std::streamsize>(bytes.size()));
+    file.close();
+    paths.push_back(path);
+  }
+
+  ParallelCampaignResult merged;
+  ASSERT_TRUE(merge_domain_shards(paths, "equiv", merged, error)) << error;
+  EXPECT_EQ(merged.jobs, 2u);
+  expect_same_stats(baseline.stats, merged.stats);
+  EXPECT_EQ(baseline.queries_issued, merged.queries_issued);
+  EXPECT_EQ(campaign_bytes(baseline), campaign_bytes(merged));
+}
+
+}  // namespace
+}  // namespace zh::scanner

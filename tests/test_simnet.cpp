@@ -2,8 +2,12 @@
 // server-side query logging (the paper's forwarder-detection mechanism).
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "simnet/address.hpp"
+#include "simnet/batch.hpp"
 #include "simnet/network.hpp"
+#include "simtime/latency.hpp"
 
 namespace zh::simnet {
 namespace {
@@ -305,6 +309,106 @@ TEST(NetworkTransport, NonEdnsClientsGet512ByteBudget) {
   const auto response = network.send(IpAddress::v4(9, 9, 9, 9), server, query);
   ASSERT_TRUE(response);
   EXPECT_TRUE(response->header.tc);
+}
+
+// Stress/property test at the async engine's scale target: 8k staggered
+// in-flight queries multiplexed over one network with loss, jitter and
+// retransmission must never reorder each other's flow-keyed RNG draws.
+// Every client's transport fate — which attempts are lost, the sampled
+// RTTs, whether it times out — must equal a run of that client ALONE, and
+// the whole batch must replay bit-identically. This is the transport
+// property the async scan engine's byte-equivalence rests on.
+TEST(NetworkBatch, EightThousandInFlightQueriesKeepFlowDrawsOrdered) {
+  constexpr std::size_t kClients = 8000;
+  const auto server = IpAddress::v4(192, 0, 2, 9);
+  const auto echo = [](const Message& q, const IpAddress&) {
+    return std::optional<Message>(Message::make_response(q));
+  };
+  // Loss 0.3 with 4 attempts: retransmission is everywhere (~30 % of
+  // attempts) and ~0.8 % of exchanges exhaust the budget, so the timeout
+  // path is exercised too.
+  const auto shape = [&](Network& network) {
+    network.attach(server, echo);
+    network.set_loss(0.3, /*seed=*/77);
+    network.set_latency_model(simtime::LatencyModel(
+        simtime::Duration::from_ms(20), simtime::Duration::from_ms(5),
+        /*seed=*/42));
+  };
+  simtime::RetryPolicy retry;
+  retry.attempts = 4;
+
+  std::vector<BatchClient> clients;
+  clients.reserve(kClients);
+  for (std::size_t i = 0; i < kClients; ++i) {
+    BatchClient client;
+    client.source = IpAddress::from_index(false, static_cast<std::uint32_t>(i));
+    client.query = Message::make_query(
+        static_cast<std::uint16_t>(i + 1),
+        *Name::must_parse("stress.example")
+             .prepended("c" + std::to_string(i)),
+        RrType::kA);
+    client.flow = 0x5000 + i;
+    // Staggered arrivals: 50 µs spacing keeps thousands genuinely in
+    // flight at once under a ~20 ms RTT.
+    client.offset = simtime::Duration::from_us(static_cast<std::int64_t>(i) *
+                                               50);
+    clients.push_back(std::move(client));
+  }
+
+  Network batch_net;
+  shape(batch_net);
+  const BatchResult batch = concurrent_exchange(batch_net, server, clients,
+                                                retry);
+  ASSERT_EQ(batch.outcomes.size(), kClients);
+
+  // The shaped transport genuinely bites: retransmissions happened, a few
+  // exchanges timed out, most were answered.
+  std::size_t retransmitted = 0, timed_out = 0, answered = 0;
+  for (const ExchangeOutcome& outcome : batch.outcomes) {
+    if (outcome.attempts > 1) ++retransmitted;
+    if (outcome.timed_out) ++timed_out;
+    if (outcome.response) ++answered;
+  }
+  EXPECT_GT(retransmitted, kClients / 10);
+  EXPECT_GT(timed_out, 0u);
+  EXPECT_GT(answered, kClients * 9 / 10);
+
+  // Property 1: the batch replays bit-identically.
+  Network replay_net;
+  shape(replay_net);
+  const BatchResult replay = concurrent_exchange(replay_net, server, clients,
+                                                 retry);
+  for (std::size_t i = 0; i < kClients; ++i) {
+    EXPECT_EQ(batch.outcomes[i].attempts, replay.outcomes[i].attempts) << i;
+    EXPECT_EQ(batch.outcomes[i].timed_out, replay.outcomes[i].timed_out) << i;
+    EXPECT_EQ(batch.outcomes[i].elapsed.nanos(),
+              replay.outcomes[i].elapsed.nanos())
+        << i;
+    EXPECT_EQ(batch.outcomes[i].response.has_value(),
+              replay.outcomes[i].response.has_value())
+        << i;
+  }
+  EXPECT_EQ(batch.makespan.nanos(), replay.makespan.nanos());
+
+  // Property 2: no client's draws depend on the other 7999 — running the
+  // clients solo, in REVERSE order, reproduces every batch outcome. (Each
+  // solo exchange restarts its flow at sequence zero exactly as the batch
+  // did, so any cross-flow draw leakage would surface as a mismatch.)
+  Network solo_net;
+  shape(solo_net);
+  const simtime::Duration epoch = solo_net.clock().now();
+  for (std::size_t r = 0; r < kClients; ++r) {
+    const std::size_t i = kClients - 1 - r;
+    solo_net.clock().set(epoch + clients[i].offset);
+    solo_net.set_flow(clients[i].flow);
+    const ExchangeOutcome solo = exchange(solo_net, clients[i].source, server,
+                                          clients[i].query, retry);
+    ASSERT_EQ(solo.attempts, batch.outcomes[i].attempts) << i;
+    ASSERT_EQ(solo.timed_out, batch.outcomes[i].timed_out) << i;
+    ASSERT_EQ(solo.elapsed.nanos(), batch.outcomes[i].elapsed.nanos()) << i;
+    ASSERT_EQ(solo.response.has_value(), batch.outcomes[i].response.has_value())
+        << i;
+  }
 }
 
 }  // namespace

@@ -343,5 +343,107 @@ TEST(TraceMetrics, LazyZoneEvictionPressureUnderScan) {
   EXPECT_EQ(evict_instants, srv.lazy_evictions());
 }
 
+// The sizing half of the ROADMAP item: with set_lazy_cache_adaptive the
+// LRU reads its own server.zone_* pressure counters — each re-sign doubles
+// the capacity (ticking server.zone_cache_grow) until the working set
+// fits, so repeat scan passes stop re-signing instead of thrashing on the
+// hardcoded capacity forever.
+TEST(TraceMetrics, LazyZoneCacheGrowsUnderResignPressure) {
+  using dns::Name;
+  using dns::RrType;
+
+  constexpr int kDomains = 40;
+  constexpr std::size_t kCapacity = 8;
+  constexpr std::size_t kMaxCapacity = 64;
+
+  testbed::Internet internet;
+  internet.add_tld("com", testbed::TldConfig{});
+  const std::size_t op = internet.add_operator("bulk");
+  testbed::OperatorHandle& handle = internet.hosting_operator(op);
+  const simnet::IpAddress host = handle.address_v4;
+
+  const auto apex_of = [](int i) {
+    return Name::must_parse("grow" + std::to_string(i) + ".com");
+  };
+  handle.server->set_lazy_provider(
+      [](const Name& qname) -> std::optional<Name> {
+        if (qname.label_count() < 2) return std::nullopt;
+        const Name apex = qname.ancestor_with_labels(2);
+        return apex.to_string().rfind("grow", 0) == 0
+                   ? std::optional<Name>(apex)
+                   : std::nullopt;
+      },
+      [host](const Name& apex) -> std::shared_ptr<const zone::Zone> {
+        testbed::DomainConfig config;
+        config.apex = apex;
+        config.nsec3 = {.iterations = 10, .salt = {0xab}, .opt_out = false};
+        return testbed::Internet::materialise_zone(config, host);
+      },
+      kCapacity);
+  handle.server->set_lazy_cache_adaptive(kMaxCapacity);
+  for (int i = 0; i < kDomains; ++i)
+    internet.add_lazy_delegation({apex_of(i), /*dnssec=*/true, op});
+  internet.build();
+  internet.network().tracer().configure({.enabled = true});
+
+  auto resolver = internet.make_resolver(
+      resolver::ResolverProfile::bind9_2021(),
+      simnet::IpAddress::v4(203, 0, 113, 10));
+  const auto scan_all = [&] {
+    for (int i = 0; i < kDomains; ++i) {
+      const auto reply =
+          resolver->resolve(*apex_of(i).prepended("www"), RrType::kA);
+      ASSERT_EQ(reply.header.rcode, dns::Rcode::kNoError) << i;
+    }
+  };
+
+  const server::AuthoritativeServer& srv = *handle.server;
+  const Metrics& metrics = internet.network().tracer().metrics();
+
+  // First pass: nothing is revisited, so no resign pressure yet — the
+  // adaptive policy must not fire and eviction churn matches the
+  // non-adaptive scenario above.
+  scan_all();
+  EXPECT_EQ(srv.lazy_materialisations(), static_cast<std::uint64_t>(kDomains));
+  EXPECT_EQ(srv.lazy_resigns(), 0u);
+  EXPECT_EQ(srv.lazy_cache_growths(), 0u);
+  EXPECT_EQ(srv.lazy_cache_capacity(), kCapacity);
+  const std::uint64_t pass1_evictions = srv.lazy_evictions();
+  EXPECT_GE(pass1_evictions, static_cast<std::uint64_t>(kDomains) -
+                                 static_cast<std::uint64_t>(kCapacity));
+
+  // Second pass: the first re-signs prove the working set outgrew the
+  // cache, and each doubles the capacity — 8 -> 16 -> 32 -> 64 — until the
+  // whole population fits. Every zone evicted in pass one still re-signs
+  // exactly once, but nothing is evicted any more.
+  resolver->flush_cache();
+  scan_all();
+  EXPECT_EQ(srv.lazy_resigns(), static_cast<std::uint64_t>(kDomains) -
+                                    static_cast<std::uint64_t>(kCapacity));
+  EXPECT_EQ(srv.lazy_cache_growths(), 3u);
+  EXPECT_EQ(srv.lazy_cache_capacity(), kMaxCapacity);
+  EXPECT_EQ(srv.lazy_evictions(), pass1_evictions);
+  EXPECT_EQ(metrics.value("server.zone_cache_grow"),
+            srv.lazy_cache_growths());
+
+  // Third pass: the grown cache holds the whole population — pure hits,
+  // zero new materialisations or re-signs. The thrash is gone.
+  const std::uint64_t settled_materialisations = srv.lazy_materialisations();
+  const std::uint64_t settled_resigns = srv.lazy_resigns();
+  resolver->flush_cache();
+  scan_all();
+  EXPECT_EQ(srv.lazy_materialisations(), settled_materialisations);
+  EXPECT_EQ(srv.lazy_resigns(), settled_resigns);
+  EXPECT_EQ(srv.lazy_evictions(), pass1_evictions);
+
+  // Each growth is visible in the event stream as a zone.cache_grow
+  // instant carrying the new capacity.
+  const ShardTrace shard = internet.network().tracer().take();
+  std::uint64_t grow_instants = 0;
+  for (const Event& event : shard.events)
+    if (std::string_view(event.name) == "zone.cache_grow") ++grow_instants;
+  EXPECT_EQ(grow_instants, srv.lazy_cache_growths());
+}
+
 }  // namespace
 }  // namespace zh::trace
