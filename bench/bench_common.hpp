@@ -18,6 +18,12 @@
 //   ZH_ENGINE          blocking | async scan engine (also --engine E)
 //   ZH_MAX_INFLIGHT    concurrent resolutions per worker when the async
 //                      engine is selected (also --max-inflight N)
+//   ZH_LISTEN          frontend listen address (also --listen A; zh_serve
+//                      and bench_frontend — see src/net/frontend.hpp)
+//   ZH_PORT            frontend UDP+TCP port (also --port N; 0 = ephemeral)
+//   ZH_TCP_IDLE_MS     frontend TCP idle-reap timeout (also --tcp-idle-ms)
+//   ZH_PENDING_BUDGET  frontend pending-response budget before shedding
+//                      (also --pending-budget N)
 #pragma once
 
 #include <cerrno>
@@ -77,6 +83,10 @@ inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
 ///   --engine E                  blocking (default) or async scan engine —
 ///                               campaign outputs are engine-invariant
 ///   --max-inflight N            concurrent resolutions per worker (async)
+///   --listen A                  frontend listen address (default 127.0.0.1)
+///   --port N                    frontend UDP+TCP port (0 = ephemeral)
+///   --tcp-idle-ms MS            frontend TCP idle-reap timeout
+///   --pending-budget N          frontend shed threshold (buffered responses)
 ///   --procs N                   worker processes (0 = all hardware threads)
 ///   --shard S --of K            run only process sub-shard S of K
 ///   --emit-shard BASE           write shard artefacts under BASE (worker
@@ -94,6 +104,12 @@ struct BenchFlags {
   /// is purely a throughput knob (see scanner/async_engine.hpp).
   scanner::Engine engine = scanner::Engine::kBlocking;
   std::size_t max_inflight = 1024;
+  /// Real-socket frontend knobs (zh_serve / bench_frontend; mirror
+  /// net::FrontendConfig — see src/net/frontend.hpp).
+  std::string listen = "127.0.0.1";
+  unsigned port = 0;  // 0 = ephemeral, read back from Frontend::port()
+  std::int64_t tcp_idle_ms = 10000;
+  std::size_t pending_budget = 512;
   std::string trace_path;
   trace::Format trace_format = trace::Format::kJsonl;
   /// Process-level fan-out (bench_procs.hpp). 1 = in-process only.
@@ -184,6 +200,12 @@ inline BenchFlags parse_flags(int argc, char** argv) {
   }
   flags.max_inflight = static_cast<std::size_t>(
       env_u64("ZH_MAX_INFLIGHT", flags.max_inflight));
+  if (const char* listen = std::getenv("ZH_LISTEN")) flags.listen = listen;
+  flags.port = static_cast<unsigned>(env_u64("ZH_PORT", flags.port) & 0xffff);
+  flags.tcp_idle_ms = static_cast<std::int64_t>(
+      env_u64("ZH_TCP_IDLE_MS", static_cast<std::uint64_t>(flags.tcp_idle_ms)));
+  flags.pending_budget = static_cast<std::size_t>(
+      env_u64("ZH_PENDING_BUDGET", flags.pending_budget));
   if (const char* path = std::getenv("ZH_TRACE")) flags.trace_path = path;
   if (const char* format = std::getenv("ZH_TRACE_FORMAT")) {
     if (const auto parsed = trace::parse_format(format))
@@ -229,6 +251,19 @@ inline BenchFlags parse_flags(int argc, char** argv) {
     } else if (const char* v = value_of(i, "--max-inflight")) {
       const long parsed = std::atol(v);
       if (parsed > 0) flags.max_inflight = static_cast<std::size_t>(parsed);
+    } else if (const char* v = value_of(i, "--listen")) {
+      flags.listen = v;
+    } else if (const char* v = value_of(i, "--port")) {
+      const long parsed = std::atol(v);
+      if (parsed >= 0 && parsed <= 65535)
+        flags.port = static_cast<unsigned>(parsed);
+      else
+        std::fprintf(stderr, "# --port '%s' out of range [0, 65535]\n", v);
+    } else if (const char* v = value_of(i, "--tcp-idle-ms")) {
+      flags.tcp_idle_ms = std::atol(v);
+    } else if (const char* v = value_of(i, "--pending-budget")) {
+      const long parsed = std::atol(v);
+      if (parsed > 0) flags.pending_budget = static_cast<std::size_t>(parsed);
     } else if (const char* v = value_of(i, "--trace-format")) {
       forward = false;
       if (const auto parsed = trace::parse_format(v)) {

@@ -1,0 +1,204 @@
+// Real-socket frontend throughput/latency over loopback (src/net).
+//
+// The frontend's pitch is "point dig/dnsperf/zdns at the simulation"; the
+// number that matters is how much real-world measurement traffic one
+// epoll thread can absorb. This bench runs the exact zh_serve wiring — an
+// EventLoop + Frontend on a worker thread, dispatch into the simulated
+// 1.1.1.1 resolver — and drives it with the bundled wire client from the
+// main thread, measuring *wall* queries/sec and per-query latency
+// (p50/p99) over loopback for each (transport, answer) cell:
+//
+//   * udp/cached    — positive answer, warm resolver cache: the floor for
+//                     per-query frontend overhead (decode, dispatch,
+//                     truncation check, encode, sendto).
+//   * udp/nxdomain  — NSEC3-heavy negative answer (larger encode, still
+//                     cached after the first ask).
+//   * tcp/cached    — same cached answer over one persistent framed
+//                     stream, serial request/response (RFC 7766 style).
+//   * tcp/nxdomain  — ditto for the big negative answer.
+//
+// The client is blocking and serial, so "qps" here is single-flow
+// round-trip throughput (transport + frontend + sim dispatch), not a
+// saturation number — it is deliberately the same shape a dnsperf -c 1
+// run would see. Emits BENCH_frontend.json (CI uploads it).
+//
+// Flags (bench_common.hpp): --listen/--port place the listener
+// (default 127.0.0.1, ephemeral), --pending-budget/--tcp-idle-ms pass
+// through to FrontendConfig. ZH_LIMIT caps queries per cell (default
+// 2000; CI uses a reduced grid), ZH_SCALE/ZH_SEED shape the world.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/stats.hpp"
+#include "bench_common.hpp"
+#include "net/event_loop.hpp"
+#include "net/frontend.hpp"
+#include "net/wire_client.hpp"
+
+namespace {
+
+using namespace zh;
+
+struct Cell {
+  const char* transport;  // "udp" | "tcp"
+  const char* answer;     // "cached" | "nxdomain"
+  const char* qname;
+  std::uint64_t queries = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t response_bytes = 0;  // size of one (representative) answer
+  double wall_seconds = 0.0;
+  analysis::Ecdf latency_us = {};
+
+  double qps() const {
+    return wall_seconds > 0.0 ? static_cast<double>(queries) / wall_seconds
+                              : 0.0;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchFlags flags = bench::parse_flags(argc, argv);
+  const std::size_t limit =
+      static_cast<std::size_t>(bench::env_u64("ZH_LIMIT", 2000));
+
+  // Probe infrastructure only: the bench measures transport + dispatch
+  // overhead, not ecosystem scale (zh_serve serves the same world shape).
+  bench::World world = bench::build_world(/*with_domains=*/false);
+  simnet::Network& network = world.internet->network();
+  const simnet::IpAddress wire_client = simnet::IpAddress::v4(203, 0, 113, 53);
+  const simnet::IpAddress endpoint = simnet::IpAddress::v4(1, 1, 1, 1);
+
+  // Identical wiring to zh_serve, but the loop lives on a worker thread so
+  // this thread can play client — hand the network over before spawning.
+  network.rebind_owner_thread();
+  net::EventLoop loop;
+  net::Frontend frontend(
+      [&network, wire_client, endpoint](const dns::Message& query) {
+        return network.send_tcp(wire_client, endpoint, query);
+      },
+      net::FrontendConfig{.listen = flags.listen,
+                          .port = static_cast<std::uint16_t>(flags.port),
+                          .tcp_idle_ms = flags.tcp_idle_ms,
+                          .pending_budget = flags.pending_budget});
+  if (!loop.valid() || !frontend.start(loop)) {
+    std::fprintf(stderr, "FAILED to start frontend: %s\n",
+                 frontend.error().c_str());
+    return 1;
+  }
+  std::thread server([&loop] { loop.run(); });
+  const std::uint16_t port = frontend.port();
+  std::printf("# frontend on %s port %u, %zu queries per cell\n",
+              flags.listen.c_str(), port, limit);
+
+  Cell cells[] = {
+      {"udp", "cached", "valid.rfc9276-in-the-wild.com"},
+      {"udp", "nxdomain", "nx.valid.rfc9276-in-the-wild.com"},
+      {"tcp", "cached", "valid.rfc9276-in-the-wild.com"},
+      {"tcp", "nxdomain", "nx.valid.rfc9276-in-the-wild.com"},
+  };
+
+  net::WireClient client(flags.listen, port);
+  std::uint16_t id = 1;
+  std::printf("%5s %9s %9s %10s %10s %10s %9s\n", "proto", "answer", "queries",
+              "qps", "p50 (us)", "p99 (us)", "resp (B)");
+  for (Cell& cell : cells) {
+    const dns::Name qname = dns::Name::must_parse(cell.qname);
+    const bool tcp = cell.transport[0] == 't';
+    // Warm outside the measured window: the first ask runs the full
+    // recursive resolution in-sim; every later one is a cache hit, so the
+    // cell measures steady-state frontend cost, not one cold resolve.
+    {
+      const auto warm = client.query(
+          dns::Message::make_query(id++, qname, dns::RrType::kA));
+      if (!warm.message) {
+        std::fprintf(stderr, "FAILED warm query for %s: %s\n", cell.qname,
+                     warm.error.c_str());
+        loop.stop();
+        server.join();
+        return 1;
+      }
+      cell.response_bytes = warm.wire.size();
+    }
+    net::TcpSession session(flags.listen, port);
+    const auto wall_start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < limit; ++i) {
+      const dns::Message query =
+          dns::Message::make_query(id++, qname, dns::RrType::kA);
+      const auto t0 = std::chrono::steady_clock::now();
+      bool ok = false;
+      if (tcp) {
+        ok = session.send(query) && session.read_frame().has_value();
+      } else {
+        const auto result = client.query(query);
+        ok = result.message.has_value();
+      }
+      const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+      cell.latency_us.add(us);
+      ++cell.queries;
+      if (!ok) ++cell.failures;
+    }
+    cell.wall_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
+    std::printf("%5s %9s %9llu %10.0f %10lld %10lld %9llu\n", cell.transport,
+                cell.answer, static_cast<unsigned long long>(cell.queries),
+                cell.qps(), static_cast<long long>(cell.latency_us.percentile(0.5)),
+                static_cast<long long>(cell.latency_us.percentile(0.99)),
+                static_cast<unsigned long long>(cell.response_bytes));
+  }
+
+  loop.stop();
+  server.join();
+  const net::FrontendCounters& counters = frontend.counters();
+  std::printf("# frontend counters: udp=%llu tcp=%llu responses=%llu "
+              "truncated=%llu malformed=%llu shed=%llu\n",
+              static_cast<unsigned long long>(counters.udp_queries),
+              static_cast<unsigned long long>(counters.tcp_queries),
+              static_cast<unsigned long long>(counters.responses),
+              static_cast<unsigned long long>(counters.truncated),
+              static_cast<unsigned long long>(counters.malformed),
+              static_cast<unsigned long long>(counters.shed));
+
+  std::uint64_t failures = 0;
+  for (const Cell& cell : cells) failures += cell.failures;
+
+  const char* out_path = std::getenv("ZH_OUT");
+  if (!out_path || !*out_path) out_path = "BENCH_frontend.json";
+  std::FILE* out = std::fopen(out_path, "w");
+  if (!out) {
+    std::fprintf(stderr, "FAILED writing %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"frontend\",\n");
+  std::fprintf(out, "  \"limit\": %zu,\n  \"listen\": \"%s\",\n", limit,
+               flags.listen.c_str());
+  std::fprintf(out, "  \"failures\": %llu,\n  \"cells\": [\n",
+               static_cast<unsigned long long>(failures));
+  const std::size_t n = sizeof cells / sizeof cells[0];
+  for (std::size_t i = 0; i < n; ++i) {
+    const Cell& cell = cells[i];
+    std::fprintf(out,
+                 "    {\"transport\": \"%s\", \"answer\": \"%s\", "
+                 "\"qname\": \"%s\", \"queries\": %llu, \"failures\": %llu, "
+                 "\"qps\": %.1f, \"p50_us\": %lld, \"p99_us\": %lld, "
+                 "\"response_bytes\": %llu, \"wall_seconds\": %.3f}%s\n",
+                 cell.transport, cell.answer, cell.qname,
+                 static_cast<unsigned long long>(cell.queries),
+                 static_cast<unsigned long long>(cell.failures), cell.qps(),
+                 static_cast<long long>(cell.latency_us.percentile(0.5)),
+                 static_cast<long long>(cell.latency_us.percentile(0.99)),
+                 static_cast<unsigned long long>(cell.response_bytes),
+                 cell.wall_seconds, i + 1 < n ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("# written %s\n", out_path);
+  return failures == 0 ? 0 : 3;
+}

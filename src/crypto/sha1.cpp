@@ -74,8 +74,10 @@ void Sha1::update(std::span<const std::uint8_t> data) noexcept {
   const std::uint8_t* p = data.data();
   std::size_t n = data.size();
 
-  if (buffer_len_ > 0) {
+  if (buffer_len_ > 0 && n > 0) {
     const std::size_t take = std::min(n, kBlockSize - buffer_len_);
+    // An empty span has a null data(); memcpy's pointer args must be
+    // non-null even for size 0, so the n > 0 guard above is load-bearing.
     std::memcpy(buffer_.data() + buffer_len_, p, take);
     buffer_len_ += take;
     p += take;

@@ -60,7 +60,8 @@ class NameCompressor {
 
 /// Reads a possibly-compressed name; `r` advances past the name's in-place
 /// bytes only. Pointers must target strictly earlier offsets (loop-proof).
-std::optional<Name> read_compressed_name(ByteReader& r) {
+/// On failure `err` says why (left untouched on success).
+std::optional<Name> read_compressed_name(ByteReader& r, WireErrc& err) {
   std::vector<std::string> labels;
   std::size_t total = 1;
 
@@ -69,84 +70,99 @@ std::optional<Name> read_compressed_name(ByteReader& r) {
   std::optional<std::size_t> resume;  // position after the in-place bytes
   std::size_t min_pointer_target = pos;
 
+  const auto fail = [&](WireErrc errc) -> std::optional<Name> {
+    err = errc;
+    return std::nullopt;
+  };
   for (;;) {
-    if (pos >= wire.size()) return std::nullopt;
+    if (pos >= wire.size()) return fail(WireErrc::kTruncated);
     const std::uint8_t len = wire[pos];
     if ((len & 0xc0) == 0xc0) {
-      if (pos + 1 >= wire.size()) return std::nullopt;
+      if (pos + 1 >= wire.size()) return fail(WireErrc::kTruncated);
       const std::size_t target =
           (static_cast<std::size_t>(len & 0x3f) << 8) | wire[pos + 1];
-      if (target >= min_pointer_target) return std::nullopt;  // no loops
+      if (target >= min_pointer_target)
+        return fail(WireErrc::kPointerLoop);  // forward/self pointer
       if (!resume) resume = pos + 2;
       min_pointer_target = target;
       pos = target;
       continue;
     }
-    if (len & 0xc0) return std::nullopt;  // reserved label types
+    if (len & 0xc0) return fail(WireErrc::kBadLabelType);  // reserved types
     if (len == 0) {
       if (!resume) resume = pos + 1;
       break;
     }
-    if (pos + 1 + len > wire.size()) return std::nullopt;
+    if (pos + 1 + len > wire.size()) return fail(WireErrc::kTruncated);
     labels.emplace_back(reinterpret_cast<const char*>(&wire[pos + 1]), len);
     total += 1 + len;
-    if (total > Name::kMaxWireLength) return std::nullopt;
+    if (total > Name::kMaxWireLength) return fail(WireErrc::kNameTooLong);
     pos += 1 + len;
   }
-  if (!r.seek(*resume)) return std::nullopt;
+  if (!r.seek(*resume)) return fail(WireErrc::kTruncated);
   return Name::from_labels(std::move(labels));
 }
 
 /// Normalises rdata read from a message: types whose rdata embeds names
 /// that may be compressed get their names decompressed and re-encoded.
+/// On failure `err` says why (left untouched on success).
 std::optional<RdataBytes> read_rdata(ByteReader& r, RrType type,
-                                     std::size_t rdlength) {
+                                     std::size_t rdlength, WireErrc& err) {
   const std::size_t end = r.position() + rdlength;
-  if (end > r.whole().size()) return std::nullopt;
+  if (end > r.whole().size()) {
+    err = WireErrc::kTruncated;
+    return std::nullopt;
+  }
 
+  const auto fail = [&](WireErrc errc) -> std::optional<RdataBytes> {
+    err = errc;
+    return std::nullopt;
+  };
   const auto finish = [&](RdataBytes bytes) -> std::optional<RdataBytes> {
-    if (r.position() != end) return std::nullopt;
+    if (r.position() != end) return fail(WireErrc::kBadRdata);
     return bytes;
   };
 
   switch (type) {
     case RrType::kNs:
     case RrType::kCname: {
-      auto name = read_compressed_name(r);
-      if (!name || r.position() > end) return std::nullopt;
+      auto name = read_compressed_name(r, err);
+      if (!name) return std::nullopt;
+      if (r.position() > end) return fail(WireErrc::kBadRdata);
       ByteWriter w;
       w.bytes(name->to_wire());
       return finish(w.take());
     }
     case RrType::kMx: {
       const auto pref = r.u16();
-      if (!pref) return std::nullopt;
-      auto name = read_compressed_name(r);
-      if (!name || r.position() > end) return std::nullopt;
+      if (!pref) return fail(WireErrc::kTruncated);
+      auto name = read_compressed_name(r, err);
+      if (!name) return std::nullopt;
+      if (r.position() > end) return fail(WireErrc::kBadRdata);
       ByteWriter w;
       w.u16(*pref);
       w.bytes(name->to_wire());
       return finish(w.take());
     }
     case RrType::kSoa: {
-      auto mname = read_compressed_name(r);
+      auto mname = read_compressed_name(r, err);
       if (!mname) return std::nullopt;
-      auto rname = read_compressed_name(r);
+      auto rname = read_compressed_name(r, err);
       if (!rname) return std::nullopt;
-      if (r.position() + 20 > end) return std::nullopt;
+      if (r.position() + 20 > end) return fail(WireErrc::kBadRdata);
       ByteWriter w;
       w.bytes(mname->to_wire());
       w.bytes(rname->to_wire());
       for (int i = 0; i < 5; ++i) {
         const auto v = r.u32();
-        if (!v) return std::nullopt;
+        if (!v) return fail(WireErrc::kTruncated);
         w.u32(*v);
       }
       return finish(w.take());
     }
     default: {
       auto bytes = r.bytes(rdlength);
-      if (!bytes) return std::nullopt;
+      if (!bytes) return fail(WireErrc::kTruncated);
       return *bytes;
     }
   }
@@ -243,9 +259,29 @@ std::vector<std::uint8_t> Message::to_wire() const {
   return w.take();
 }
 
+const char* to_string(WireErrc errc) {
+  switch (errc) {
+    case WireErrc::kOk: return "ok";
+    case WireErrc::kTruncated: return "truncated";
+    case WireErrc::kBadLabelType: return "bad-label-type";
+    case WireErrc::kPointerLoop: return "pointer-loop";
+    case WireErrc::kNameTooLong: return "name-too-long";
+    case WireErrc::kBadRdata: return "bad-rdata";
+    case WireErrc::kBadOpt: return "bad-opt";
+    case WireErrc::kTrailingBytes: return "trailing-bytes";
+  }
+  return "unknown";
+}
+
 std::optional<Message> Message::from_wire(std::span<const std::uint8_t> wire) {
+  return decode(wire).message;
+}
+
+DecodeResult Message::decode(std::span<const std::uint8_t> wire) {
   ByteReader r(wire);
   Message msg;
+  WireErrc err = WireErrc::kOk;
+  const auto fail = [&](WireErrc errc) { return DecodeResult{{}, errc}; };
 
   const auto id = r.u16();
   const auto flags = r.u16();
@@ -254,7 +290,7 @@ std::optional<Message> Message::from_wire(std::span<const std::uint8_t> wire) {
   const auto nscount = r.u16();
   const auto arcount = r.u16();
   if (!id || !flags || !qdcount || !ancount || !nscount || !arcount)
-    return std::nullopt;
+    return fail(WireErrc::kTruncated);
 
   msg.header.id = *id;
   msg.header.qr = *flags & 0x8000;
@@ -268,10 +304,11 @@ std::optional<Message> Message::from_wire(std::span<const std::uint8_t> wire) {
   std::uint16_t rcode_value = *flags & 0xf;
 
   for (std::uint16_t i = 0; i < *qdcount; ++i) {
-    auto name = read_compressed_name(r);
+    auto name = read_compressed_name(r, err);
+    if (!name) return fail(err);
     const auto type = r.u16();
     const auto klass = r.u16();
-    if (!name || !type || !klass) return std::nullopt;
+    if (!type || !klass) return fail(WireErrc::kTruncated);
     msg.questions.push_back(Question{*std::move(name),
                                      static_cast<RrType>(*type),
                                      static_cast<RrClass>(*klass)});
@@ -281,12 +318,16 @@ std::optional<Message> Message::from_wire(std::span<const std::uint8_t> wire) {
       [&](std::uint16_t count,
           std::vector<ResourceRecord>& section) -> bool {
     for (std::uint16_t i = 0; i < count; ++i) {
-      auto name = read_compressed_name(r);
+      auto name = read_compressed_name(r, err);
+      if (!name) return false;
       const auto type = r.u16();
       const auto klass = r.u16();
       const auto ttl = r.u32();
       const auto rdlength = r.u16();
-      if (!name || !type || !klass || !ttl || !rdlength) return false;
+      if (!type || !klass || !ttl || !rdlength) {
+        err = WireErrc::kTruncated;
+        return false;
+      }
 
       if (static_cast<RrType>(*type) == RrType::kOpt) {
         // Lift OPT into msg.edns.
@@ -297,20 +338,33 @@ std::optional<Message> Message::from_wire(std::span<const std::uint8_t> wire) {
         rcode_value = static_cast<std::uint16_t>(
             rcode_value | (((*ttl >> 24) & 0xff) << 4));
         const std::size_t end = r.position() + *rdlength;
+        if (end > r.whole().size()) {
+          err = WireErrc::kTruncated;
+          return false;
+        }
         while (r.position() < end) {
           const auto code = r.u16();
           const auto len = r.u16();
-          if (!code || !len) return false;
+          if (!code || !len) {
+            err = WireErrc::kBadOpt;
+            return false;
+          }
           auto data = r.bytes(*len);
-          if (!data || r.position() > end) return false;
+          if (!data || r.position() > end) {
+            err = WireErrc::kBadOpt;
+            return false;
+          }
           edns.options.push_back(EdnsOption{*code, *std::move(data)});
         }
-        if (r.position() != end) return false;
+        if (r.position() != end) {
+          err = WireErrc::kBadOpt;
+          return false;
+        }
         msg.edns = std::move(edns);
         continue;
       }
 
-      auto rdata = read_rdata(r, static_cast<RrType>(*type), *rdlength);
+      auto rdata = read_rdata(r, static_cast<RrType>(*type), *rdlength, err);
       if (!rdata) return false;
       section.push_back(ResourceRecord{*std::move(name),
                                        static_cast<RrType>(*type),
@@ -320,12 +374,17 @@ std::optional<Message> Message::from_wire(std::span<const std::uint8_t> wire) {
     return true;
   };
 
-  if (!read_section(*ancount, msg.answers)) return std::nullopt;
-  if (!read_section(*nscount, msg.authorities)) return std::nullopt;
-  if (!read_section(*arcount, msg.additionals)) return std::nullopt;
+  if (!read_section(*ancount, msg.answers)) return fail(err);
+  if (!read_section(*nscount, msg.authorities)) return fail(err);
+  if (!read_section(*arcount, msg.additionals)) return fail(err);
+
+  // Strict framing: a datagram (or TCP frame payload) is exactly one
+  // message — anything after the counted sections is an attacker smuggling
+  // bytes or a framing bug upstream, not padding.
+  if (!r.at_end()) return fail(WireErrc::kTrailingBytes);
 
   msg.header.rcode = static_cast<Rcode>(rcode_value);
-  return msg;
+  return DecodeResult{std::move(msg), WireErrc::kOk};
 }
 
 Message Message::make_query(std::uint16_t id, const Name& qname, RrType qtype,

@@ -69,6 +69,25 @@ struct Header {
   Rcode rcode = Rcode::kNoError;
 };
 
+/// Why a wire message failed to decode. The codec parses bytes from
+/// untrusted peers (real sockets via the net frontend, simulated-but-
+/// adversarial nodes in-sim), so failures are typed — never exceptions,
+/// never out-of-bounds reads — and the frontend surfaces them as counters.
+enum class WireErrc : std::uint8_t {
+  kOk = 0,
+  kTruncated,      // ran out of bytes mid-field
+  kBadLabelType,   // reserved label type (0x40/0x80 prefix, RFC 1035 §4.1.4)
+  kPointerLoop,    // compression pointer not strictly backward
+  kNameTooLong,    // name exceeds the 255-byte wire limit
+  kBadRdata,       // rdata malformed or inconsistent with RDLENGTH
+  kBadOpt,         // OPT pseudo-record options malformed
+  kTrailingBytes,  // bytes left over after all counted sections
+};
+
+const char* to_string(WireErrc errc);
+
+struct DecodeResult;  // defined after Message (holds one)
+
 /// A full DNS message. The OPT pseudo-record is lifted into `edns` and never
 /// appears in `additionals`.
 struct Message {
@@ -85,8 +104,14 @@ struct Message {
 
   /// Parses a wire message; embedded compressed names inside NS/CNAME/SOA/
   /// MX rdata are normalised to uncompressed form. Returns nullopt on any
-  /// malformation (truncation, pointer loops, bad counts).
+  /// malformation (truncation, pointer loops, bad counts, trailing bytes).
+  /// Equivalent to decode(wire).message.
   static std::optional<Message> from_wire(std::span<const std::uint8_t> wire);
+
+  /// Like from_wire, but says *why* parsing failed (WireErrc). The parse is
+  /// strict: every byte of `wire` must belong to a counted section — pass
+  /// exactly one datagram or one TCP frame payload.
+  static DecodeResult decode(std::span<const std::uint8_t> wire);
 
   /// Standard recursive query with EDNS, DO bit and a 1232-byte buffer.
   static Message make_query(std::uint16_t id, const Name& qname, RrType qtype,
@@ -107,6 +132,14 @@ struct Message {
 
   /// One-line summary for logs: "NOERROR q=example.com. A ans=2 auth=0 AD".
   std::string summary() const;
+};
+
+/// Outcome of Message::decode: the message, or why there is none.
+struct DecodeResult {
+  std::optional<Message> message;
+  WireErrc error = WireErrc::kOk;
+
+  explicit operator bool() const noexcept { return message.has_value(); }
 };
 
 }  // namespace zh::dns

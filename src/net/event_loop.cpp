@@ -1,0 +1,165 @@
+#include "net/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/timerfd.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <vector>
+
+namespace zh::net {
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  timer_fd_ = ::timerfd_create(CLOCK_MONOTONIC, TFD_NONBLOCK | TFD_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || timer_fd_ < 0 || wake_fd_ < 0) {
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (timer_fd_ >= 0) ::close(timer_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    epoll_fd_ = timer_fd_ = wake_fd_ = -1;
+    return;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;  // level-triggered: the loop drains them itself
+  ev.data.fd = timer_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, timer_fd_, &ev);
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+}
+
+EventLoop::~EventLoop() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (timer_fd_ >= 0) ::close(timer_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+}
+
+bool EventLoop::add(int fd, std::uint32_t events, FdCallback callback) {
+  if (!valid() || fd < 0) return false;
+  epoll_event ev{};
+  ev.events = events | EPOLLET;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) return false;
+  fds_[fd] = std::make_shared<FdCallback>(std::move(callback));
+  return true;
+}
+
+bool EventLoop::modify(int fd, std::uint32_t events) {
+  if (!valid() || fds_.count(fd) == 0) return false;
+  epoll_event ev{};
+  ev.events = events | EPOLLET;
+  ev.data.fd = fd;
+  return ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) == 0;
+}
+
+void EventLoop::remove(int fd) {
+  if (!valid()) return;
+  if (fds_.erase(fd) > 0) ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+std::int64_t EventLoop::now_ms() noexcept {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return ts.tv_sec * 1000 + ts.tv_nsec / 1000000;
+}
+
+std::uint64_t EventLoop::add_timer(std::int64_t after_ms,
+                                   TimerCallback callback) {
+  const std::uint64_t id = next_timer_id_++;
+  const std::int64_t deadline = now_ms() + (after_ms < 0 ? 0 : after_ms);
+  timers_.emplace(deadline, Timer{id, std::move(callback)});
+  timer_deadlines_[id] = deadline;
+  arm_timerfd();
+  return id;
+}
+
+void EventLoop::cancel_timer(std::uint64_t id) {
+  const auto it = timer_deadlines_.find(id);
+  if (it == timer_deadlines_.end()) return;
+  const auto [begin, end] = timers_.equal_range(it->second);
+  for (auto t = begin; t != end; ++t) {
+    if (t->second.id == id) {
+      timers_.erase(t);
+      break;
+    }
+  }
+  timer_deadlines_.erase(it);
+  arm_timerfd();
+}
+
+void EventLoop::arm_timerfd() {
+  if (!valid()) return;
+  itimerspec spec{};  // all-zero disarms
+  if (!timers_.empty()) {
+    std::int64_t delta = timers_.begin()->first - now_ms();
+    if (delta < 1) delta = 1;  // 0 would disarm; fire "immediately" instead
+    spec.it_value.tv_sec = delta / 1000;
+    spec.it_value.tv_nsec = (delta % 1000) * 1000000;
+  }
+  ::timerfd_settime(timer_fd_, 0, &spec, nullptr);
+}
+
+std::size_t EventLoop::fire_due_timers() {
+  const std::int64_t now = now_ms();
+  std::vector<Timer> due;
+  while (!timers_.empty() && timers_.begin()->first <= now) {
+    due.push_back(std::move(timers_.begin()->second));
+    timer_deadlines_.erase(timers_.begin()->second.id);
+    timers_.erase(timers_.begin());
+  }
+  arm_timerfd();
+  for (Timer& timer : due)
+    if (timer.callback) timer.callback();
+  return due.size();
+}
+
+std::size_t EventLoop::poll(int timeout_ms) {
+  if (!valid()) return 0;
+  epoll_event events[64];
+  int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+  if (n < 0) {
+    if (errno != EINTR) stop_.store(true, std::memory_order_relaxed);
+    return 0;
+  }
+  std::size_t invoked = 0;
+  for (int i = 0; i < n; ++i) {
+    const int fd = events[i].data.fd;
+    if (fd == wake_fd_) {
+      std::uint64_t drain = 0;
+      while (::read(wake_fd_, &drain, sizeof drain) > 0) {
+      }
+      continue;
+    }
+    if (fd == timer_fd_) {
+      std::uint64_t expirations = 0;
+      while (::read(timer_fd_, &expirations, sizeof expirations) > 0) {
+      }
+      invoked += fire_due_timers();
+      continue;
+    }
+    // Look up at dispatch time: an earlier callback in this batch may have
+    // removed the fd (e.g. closed the connection the event was for).
+    const auto it = fds_.find(fd);
+    if (it == fds_.end()) continue;
+    const std::shared_ptr<FdCallback> callback = it->second;
+    (*callback)(events[i].events);
+    ++invoked;
+  }
+  return invoked;
+}
+
+void EventLoop::run() {
+  while (valid() && !stop_.load(std::memory_order_relaxed)) poll(-1);
+}
+
+void EventLoop::stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (wake_fd_ >= 0) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof one);
+  }
+}
+
+}  // namespace zh::net

@@ -1,0 +1,99 @@
+// zh::net — single-threaded epoll event loop for the real-socket frontend.
+//
+// The simulated Internet is strictly single-threaded (one Network per
+// worker, simnet/network.hpp), so the natural real-socket server shape is
+// one edge-triggered epoll loop on the thread that owns the testbed:
+// socket readiness and timer expiry both arrive as fd events, handlers
+// dispatch synchronously into the simulation, and nothing needs a lock.
+//
+// Timers are timerfd-driven: the loop keeps a deadline-ordered set of
+// pending timers and arms one CLOCK_MONOTONIC timerfd to the earliest
+// deadline, so expirations wake epoll_wait exactly like socket traffic.
+// stop() is the only cross-thread entry point (an eventfd wakeup), which
+// is what lets tests drive a client from the main thread while the loop
+// serves from a worker.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#include <atomic>
+
+namespace zh::net {
+
+/// Ready-event callback; `events` is the raw epoll event mask.
+using FdCallback = std::function<void(std::uint32_t events)>;
+using TimerCallback = std::function<void()>;
+
+class EventLoop {
+ public:
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// False when construction failed (epoll/timerfd/eventfd unavailable).
+  bool valid() const noexcept { return epoll_fd_ >= 0; }
+
+  /// Registers `fd` edge-triggered for `events` (EPOLLIN/EPOLLOUT mask;
+  /// EPOLLET is added internally). The callback owns no fd lifetime — the
+  /// caller closes fds after remove().
+  bool add(int fd, std::uint32_t events, FdCallback callback);
+
+  /// Changes the interest mask of a registered fd.
+  bool modify(int fd, std::uint32_t events);
+
+  /// Unregisters an fd (safe mid-dispatch: pending readiness for it in the
+  /// current batch is discarded). Does not close the fd.
+  void remove(int fd);
+
+  /// Arms a one-shot timer `after_ms` from now; returns its id. Callbacks
+  /// may re-arm themselves (periodic timers) or add/cancel other timers.
+  std::uint64_t add_timer(std::int64_t after_ms, TimerCallback callback);
+  void cancel_timer(std::uint64_t id);
+
+  /// Milliseconds on the loop's CLOCK_MONOTONIC timebase.
+  static std::int64_t now_ms() noexcept;
+
+  /// Serves events until stop(). Re-entrant per-iteration: handlers may
+  /// add/remove fds and timers freely.
+  void run();
+
+  /// Serves at most one epoll_wait round (≤ `timeout_ms` of blocking);
+  /// returns the number of fd/timer callbacks invoked. For tests and
+  /// drain loops.
+  std::size_t poll(int timeout_ms);
+
+  /// Thread-safe: makes run() return after the current iteration and
+  /// wakes the loop if it is blocked in epoll_wait.
+  void stop();
+
+  bool stopped() const noexcept {
+    return stop_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Timer {
+    std::uint64_t id = 0;
+    TimerCallback callback;
+  };
+
+  void arm_timerfd();
+  std::size_t fire_due_timers();
+
+  int epoll_fd_ = -1;
+  int timer_fd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  // shared_ptr so a callback that removes its own (or another) fd while a
+  // readiness batch is being dispatched never frees a running callable.
+  std::unordered_map<int, std::shared_ptr<FdCallback>> fds_;
+  std::multimap<std::int64_t, Timer> timers_;             // deadline_ms → timer
+  std::unordered_map<std::uint64_t, std::int64_t> timer_deadlines_;
+  std::uint64_t next_timer_id_ = 1;
+};
+
+}  // namespace zh::net

@@ -4,6 +4,7 @@
 // servers log source IPs to detect forwarders, §4.2).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -141,8 +142,11 @@ class Network {
                                    const dns::Message& query) {
     auto response = deliver(from, to, query);
     if (!response) return std::nullopt;
+    // RFC 6891 §6.2.3: advertised payload sizes below 512 are treated as
+    // 512 — an attacker-chosen tiny buffer must not shrink the floor.
     const std::size_t buffer_size =
-        query.edns ? query.edns->udp_payload_size : 512;
+        query.edns ? std::max<std::size_t>(512, query.edns->udp_payload_size)
+                   : 512;
     if (response->to_wire().size() > buffer_size) {
       dns::Message truncated = dns::Message::make_response(query);
       truncated.header.rcode = response->header.rcode;

@@ -198,5 +198,54 @@ TEST(BenchEnv, BadRetriesAndProcsFallBackToDefaults) {
   }
 }
 
+TEST(BenchFlags, FrontendFlagsParseBothForms) {
+  Argv argv({"bench", "--listen", "0.0.0.0", "--port=5353",
+             "--tcp-idle-ms", "2500", "--pending-budget=64"});
+  const BenchFlags flags = parse_flags(argv.argc(), argv.argv());
+  EXPECT_EQ(flags.listen, "0.0.0.0");
+  EXPECT_EQ(flags.port, 5353u);
+  EXPECT_EQ(flags.tcp_idle_ms, 2500);
+  EXPECT_EQ(flags.pending_budget, 64u);
+}
+
+TEST(BenchFlags, FrontendFlagsDefaultToLoopbackEphemeral) {
+  Argv argv({"bench"});
+  const BenchFlags flags = parse_flags(argv.argc(), argv.argv());
+  EXPECT_EQ(flags.listen, "127.0.0.1");
+  EXPECT_EQ(flags.port, 0u);
+  EXPECT_EQ(flags.tcp_idle_ms, 10000);
+  EXPECT_EQ(flags.pending_budget, 512u);
+}
+
+TEST(BenchEnv, FrontendKnobsComeFromEnvironmentAndFlagsWin) {
+  EnvVar listen("ZH_LISTEN", "10.0.0.1");
+  EnvVar port("ZH_PORT", "8053");
+  EnvVar idle("ZH_TCP_IDLE_MS", "1234");
+  EnvVar budget("ZH_PENDING_BUDGET", "32");
+  {
+    Argv argv({"bench"});
+    const BenchFlags flags = parse_flags(argv.argc(), argv.argv());
+    EXPECT_EQ(flags.listen, "10.0.0.1");
+    EXPECT_EQ(flags.port, 8053u);
+    EXPECT_EQ(flags.tcp_idle_ms, 1234);
+    EXPECT_EQ(flags.pending_budget, 32u);
+  }
+  {
+    // Command-line overrides the environment, as for every other knob.
+    Argv argv({"bench", "--listen", "127.0.0.1", "--port", "0"});
+    const BenchFlags flags = parse_flags(argv.argc(), argv.argv());
+    EXPECT_EQ(flags.listen, "127.0.0.1");
+    EXPECT_EQ(flags.port, 0u);
+    EXPECT_EQ(flags.tcp_idle_ms, 1234);  // env still supplies the rest
+  }
+}
+
+TEST(BenchFlags, FrontendPortRejectsOutOfRange) {
+  Argv argv({"bench", "--port", "70000", "--pending-budget", "0"});
+  const BenchFlags flags = parse_flags(argv.argc(), argv.argv());
+  EXPECT_EQ(flags.port, 0u);             // out-of-range port ignored
+  EXPECT_EQ(flags.pending_budget, 512u);  // zero budget would shed everything
+}
+
 }  // namespace
 }  // namespace zh::bench
