@@ -24,6 +24,12 @@
 //   ZH_TCP_IDLE_MS     frontend TCP idle-reap timeout (also --tcp-idle-ms)
 //   ZH_PENDING_BUDGET  frontend pending-response budget before shedding
 //                      (also --pending-budget N)
+//   ZH_SHA1_IMPL       scalar | ssse3 | avx2 SHA-1 batch kernel (also
+//                      --sha1-impl I; default: widest the host supports —
+//                      see src/crypto/sha1_mb.hpp and docs/PERFORMANCE.md)
+//   ZH_CHAIN_MEMO      NSEC3 chain memo capacity, 0 disables (also
+//                      --chain-memo N; default 4096, auto-grown to the
+//                      domain population — see src/zone/chain_memo.hpp)
 #pragma once
 
 #include <cerrno>
@@ -36,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "crypto/sha1_mb.hpp"
 #include "scanner/campaign.hpp"
 #include "scanner/parallel.hpp"
 #include "simtime/latency.hpp"
@@ -44,6 +51,7 @@
 #include "trace/export.hpp"
 #include "workload/install.hpp"
 #include "workload/resolver_population.hpp"
+#include "zone/chain_memo.hpp"
 
 namespace zh::bench {
 
@@ -93,6 +101,10 @@ inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
 ///                               mode — implies --shard/--of)
 ///   --merge-shards FILE...      merge existing artefacts instead of
 ///                               scanning (consumes all remaining args)
+///   --sha1-impl I               force the SHA-1 batch kernel (scalar,
+///                               ssse3, avx2) — outputs are impl-invariant
+///   --chain-memo N              NSEC3 chain memo capacity (0 disables) —
+///                               outputs are memo-invariant
 /// Unknown flags are ignored, so benches can add their own on top.
 struct BenchFlags {
   unsigned jobs = 1;
@@ -121,6 +133,12 @@ struct BenchFlags {
   std::string emit_shard;
   /// Merge-mode inputs: decode + merge these artefacts, run nothing.
   std::vector<std::string> merge_shards;
+  /// SHA-1 batch kernel forced via --sha1-impl (already clamped to a
+  /// supported implementation and installed); nullopt = CPUID default.
+  std::optional<crypto::Sha1Impl> sha1_impl;
+  /// NSEC3 chain memo capacity forced via --chain-memo (already installed
+  /// as the process default); nullopt = env/default sizing.
+  std::optional<std::size_t> chain_memo;
   /// This binary (argv[0]) and the arguments a worker re-exec needs —
   /// everything parsed above minus the process-orchestration and trace
   /// flags (workers get their sub-shard flags appended by the spawner).
@@ -287,6 +305,36 @@ inline BenchFlags parse_flags(int argc, char** argv) {
     } else if (const char* v = value_of(i, "--emit-shard")) {
       forward = false;
       flags.emit_shard = v;
+    } else if (const char* v = value_of(i, "--sha1-impl")) {
+      if (const auto parsed = crypto::parse_sha1_impl(v)) {
+        const crypto::Sha1Impl effective = crypto::set_sha1_impl(*parsed);
+        flags.sha1_impl = effective;
+        if (effective != *parsed)
+          std::fprintf(stderr,
+                       "# --sha1-impl %s is not supported by this host/build; "
+                       "using %s\n",
+                       v, crypto::sha1_impl_name(effective));
+      } else {
+        std::fprintf(stderr,
+                     "# --sha1-impl '%s' is not one of scalar|ssse3|avx2; "
+                     "using %s\n",
+                     v, crypto::sha1_impl_name(crypto::sha1_impl()));
+      }
+    } else if (const char* v = value_of(i, "--chain-memo")) {
+      errno = 0;
+      char* end = nullptr;
+      const long long parsed = std::strtoll(v, &end, 10);
+      if (errno != 0 || end == v || *end != '\0' || parsed < 0) {
+        std::fprintf(stderr,
+                     "# --chain-memo '%s' is not a non-negative integer; "
+                     "keeping %llu\n",
+                     v,
+                     static_cast<unsigned long long>(
+                         zone::Nsec3ChainMemo::default_capacity()));
+      } else {
+        flags.chain_memo = static_cast<std::size_t>(parsed);
+        zone::Nsec3ChainMemo::set_default_capacity(*flags.chain_memo);
+      }
     } else if (std::strcmp(arg, "--merge-shards") == 0) {
       forward = false;
       for (++i; i < argc; ++i) flags.merge_shards.push_back(argv[i]);

@@ -17,18 +17,32 @@ namespace zh::crypto {
 /// The counters are monotonically increasing; measure a region by taking a
 /// snapshot before and after. All hash primitives in zh::crypto tick these.
 struct CostMeter {
-  /// Number of SHA-1 compression-function invocations (64-byte blocks).
+  /// Number of *logical* SHA-1 compression-function invocations (64-byte
+  /// blocks): what a message-at-a-time implementation would have executed.
+  /// This is the currency of every amplification figure and of simtime
+  /// service costs, and it is invariant across batch kernels (sha1_mb.hpp)
+  /// and NSEC3 chain memoisation (zone/chain_memo.hpp) — both credit the
+  /// logical count even when they skip or restructure the physical work.
   static std::uint64_t sha1_blocks() noexcept { return tls().sha1; }
+  /// Number of SHA-1 compression blocks *actually executed* on this thread.
+  /// Equal to sha1_blocks() unless memoisation skipped a chain rebuild.
+  static std::uint64_t sha1_physical_blocks() noexcept {
+    return tls().sha1_physical;
+  }
   /// Number of SHA-256-family compression invocations (64/128-byte blocks).
   static std::uint64_t sha2_blocks() noexcept { return tls().sha2; }
   /// Number of complete NSEC3 hash computations (one per hashed name).
   static std::uint64_t nsec3_hashes() noexcept { return tls().nsec3; }
 
   static void add_sha1_blocks(std::uint64_t n) noexcept { tls().sha1 += n; }
+  static void add_sha1_physical(std::uint64_t n) noexcept {
+    tls().sha1_physical += n;
+  }
   static void add_sha2_blocks(std::uint64_t n) noexcept { tls().sha2 += n; }
   static void add_nsec3_hash() noexcept { ++tls().nsec3; }
   /// Bulk credit — used by the parallel campaign engine to attribute its
-  /// workers' (thread-local) hash work back to the calling thread.
+  /// workers' (thread-local) hash work back to the calling thread, and by
+  /// the chain memo to credit logical work it did not physically redo.
   static void add_nsec3_hashes(std::uint64_t n) noexcept { tls().nsec3 += n; }
 
   /// Resets all counters on the calling thread (test/bench convenience).
@@ -37,6 +51,7 @@ struct CostMeter {
  private:
   struct Counters {
     std::uint64_t sha1 = 0;
+    std::uint64_t sha1_physical = 0;
     std::uint64_t sha2 = 0;
     std::uint64_t nsec3 = 0;
   };

@@ -22,22 +22,15 @@ inline void store_be32(std::uint8_t* p, std::uint32_t v) noexcept {
 
 }  // namespace
 
-void Sha1::reset() noexcept {
-  state_ = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u};
-  total_len_ = 0;
-  buffer_len_ = 0;
-}
-
-void Sha1::compress(const std::uint8_t* block) noexcept {
-  CostMeter::add_sha1_blocks(1);
-
+void sha1_compress_scalar(std::uint32_t state[5],
+                          const std::uint8_t* block) noexcept {
   std::uint32_t w[80];
   for (int i = 0; i < 16; ++i) w[i] = load_be32(block + 4 * i);
   for (int i = 16; i < 80; ++i)
     w[i] = std::rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
 
-  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3],
-                e = state_[4];
+  std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3],
+                e = state[4];
 
   for (int i = 0; i < 80; ++i) {
     std::uint32_t f, k;
@@ -62,11 +55,23 @@ void Sha1::compress(const std::uint8_t* block) noexcept {
     a = tmp;
   }
 
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
+  state[0] += a;
+  state[1] += b;
+  state[2] += c;
+  state[3] += d;
+  state[4] += e;
+}
+
+void Sha1::reset() noexcept {
+  state_ = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u};
+  total_len_ = 0;
+  buffer_len_ = 0;
+}
+
+void Sha1::compress(const std::uint8_t* block) noexcept {
+  CostMeter::add_sha1_blocks(1);
+  CostMeter::add_sha1_physical(1);
+  sha1_compress_scalar(state_.data(), block);
 }
 
 void Sha1::update(std::span<const std::uint8_t> data) noexcept {

@@ -13,6 +13,12 @@
 
 namespace zh::crypto {
 
+/// One unmetered compression round: folds the 64-byte `block` into `state`.
+/// Shared by the incremental hasher below and the multi-buffer kernels
+/// (sha1_mb.hpp) so there is exactly one scalar round implementation.
+void sha1_compress_scalar(std::uint32_t state[5],
+                          const std::uint8_t* block) noexcept;
+
 /// Incremental SHA-1 hasher.
 ///
 /// Usage: construct, call update() any number of times, then finalize()

@@ -1,0 +1,99 @@
+// 8-wide SHA-1 compression: eight independent messages, one per 32-bit lane
+// of a YMM register. Compiled with -mavx2 (see src/crypto/CMakeLists.txt);
+// the dispatcher in sha1_mb.cpp only calls in here after a CPUID check.
+#include "crypto/sha1_mb.hpp"
+
+#if defined(ZH_HAVE_SHA1_AVX2)
+
+#include <immintrin.h>
+
+namespace zh::crypto::detail {
+namespace {
+
+inline __m256i rotl(__m256i v, int n) noexcept {
+  return _mm256_or_si256(_mm256_slli_epi32(v, n),
+                         _mm256_srli_epi32(v, 32 - n));
+}
+
+inline std::uint32_t load_be32(const std::uint8_t* p) noexcept {
+  return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+         (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
+}
+
+/// Word t of each lane's block, gathered into one register (lane 0 in the
+/// lowest element).
+inline __m256i gather_word(const std::uint8_t* const blocks[8],
+                           int t) noexcept {
+  return _mm256_set_epi32(
+      static_cast<int>(load_be32(blocks[7] + 4 * t)),
+      static_cast<int>(load_be32(blocks[6] + 4 * t)),
+      static_cast<int>(load_be32(blocks[5] + 4 * t)),
+      static_cast<int>(load_be32(blocks[4] + 4 * t)),
+      static_cast<int>(load_be32(blocks[3] + 4 * t)),
+      static_cast<int>(load_be32(blocks[2] + 4 * t)),
+      static_cast<int>(load_be32(blocks[1] + 4 * t)),
+      static_cast<int>(load_be32(blocks[0] + 4 * t)));
+}
+
+}  // namespace
+
+void sha1_compress_x8_avx2(LaneState state,
+                           const std::uint8_t* const blocks[8]) noexcept {
+  __m256i w[80];
+  for (int t = 0; t < 16; ++t) w[t] = gather_word(blocks, t);
+  for (int t = 16; t < 80; ++t)
+    w[t] = rotl(_mm256_xor_si256(_mm256_xor_si256(w[t - 3], w[t - 8]),
+                                 _mm256_xor_si256(w[t - 14], w[t - 16])),
+                1);
+
+  __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(state[0]));
+  __m256i b = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(state[1]));
+  __m256i c = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(state[2]));
+  __m256i d = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(state[3]));
+  __m256i e = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(state[4]));
+  const __m256i a0 = a, b0 = b, c0 = c, d0 = d, e0 = e;
+
+  for (int t = 0; t < 80; ++t) {
+    __m256i f, k;
+    if (t < 20) {
+      // Ch(b,c,d) = d ^ (b & (c ^ d))
+      f = _mm256_xor_si256(d, _mm256_and_si256(b, _mm256_xor_si256(c, d)));
+      k = _mm256_set1_epi32(0x5A827999);
+    } else if (t < 40) {
+      f = _mm256_xor_si256(_mm256_xor_si256(b, c), d);
+      k = _mm256_set1_epi32(0x6ED9EBA1);
+    } else if (t < 60) {
+      // Maj(b,c,d) = (b & c) | (d & (b | c))
+      f = _mm256_or_si256(_mm256_and_si256(b, c),
+                          _mm256_and_si256(d, _mm256_or_si256(b, c)));
+      k = _mm256_set1_epi32(static_cast<int>(0x8F1BBCDCu));
+    } else {
+      f = _mm256_xor_si256(_mm256_xor_si256(b, c), d);
+      k = _mm256_set1_epi32(static_cast<int>(0xCA62C1D6u));
+    }
+    const __m256i tmp = _mm256_add_epi32(
+        _mm256_add_epi32(_mm256_add_epi32(rotl(a, 5), f),
+                         _mm256_add_epi32(e, k)),
+        w[t]);
+    e = d;
+    d = c;
+    c = rotl(b, 30);
+    b = a;
+    a = tmp;
+  }
+
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(state[0]),
+                      _mm256_add_epi32(a0, a));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(state[1]),
+                      _mm256_add_epi32(b0, b));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(state[2]),
+                      _mm256_add_epi32(c0, c));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(state[3]),
+                      _mm256_add_epi32(d0, d));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(state[4]),
+                      _mm256_add_epi32(e0, e));
+}
+
+}  // namespace zh::crypto::detail
+
+#endif  // ZH_HAVE_SHA1_AVX2

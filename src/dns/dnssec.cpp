@@ -77,6 +77,29 @@ std::vector<std::uint8_t> nsec3_hash_name(const Name& name,
   return std::vector<std::uint8_t>(digest.begin(), digest.end());
 }
 
+std::vector<std::vector<std::uint8_t>> nsec3_hash_names(
+    std::span<const Name> names, std::span<const std::uint8_t> salt,
+    std::uint16_t iterations) {
+  std::vector<std::vector<std::uint8_t>> wires;
+  wires.reserve(names.size());
+  for (const Name& name : names) wires.push_back(name.to_canonical_wire());
+  std::vector<std::span<const std::uint8_t>> owners;
+  owners.reserve(wires.size());
+  for (const auto& wire : wires) owners.emplace_back(wire.data(), wire.size());
+
+  std::vector<crypto::Nsec3Digest> digests(names.size());
+  crypto::nsec3_hash_batch(
+      std::span<const std::span<const std::uint8_t>>(owners.data(),
+                                                     owners.size()),
+      salt, iterations, digests.data());
+
+  std::vector<std::vector<std::uint8_t>> hashes;
+  hashes.reserve(digests.size());
+  for (const auto& digest : digests)
+    hashes.emplace_back(digest.begin(), digest.end());
+  return hashes;
+}
+
 Name nsec3_owner_name(const Name& name, const Name& zone,
                       std::span<const std::uint8_t> salt,
                       std::uint16_t iterations) {

@@ -38,6 +38,16 @@ std::vector<std::uint8_t> nsec3_hash_name(const Name& name,
                                           std::span<const std::uint8_t> salt,
                                           std::uint16_t iterations);
 
+/// Batched nsec3_hash_name: hashes all `names` under one parameter set
+/// through the multi-buffer SHA-1 kernel (crypto/sha1_mb.hpp), filling SIMD
+/// lanes with independent names. Digest i belongs to names[i]; digests and
+/// CostMeter *logical* accounting are identical to calling nsec3_hash_name
+/// once per name. The zone signer uses this to hash whole NSEC3 chains
+/// lane-parallel.
+std::vector<std::vector<std::uint8_t>> nsec3_hash_names(
+    std::span<const Name> names, std::span<const std::uint8_t> salt,
+    std::uint16_t iterations);
+
 /// The owner name of the NSEC3 record for `name` in `zone`:
 /// base32hex(hash).zone.
 Name nsec3_owner_name(const Name& name, const Name& zone,

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "crypto/sha1_mb.hpp"
 #include "dns/dnssec.hpp"
+#include "zone/chain_memo.hpp"
 
 namespace zh::server {
 namespace {
@@ -156,12 +158,16 @@ void AuthoritativeServer::set_tracer(trace::Tracer* tracer) {
     evict_metric_ = metrics.counter("server.zone_evict");
     resign_metric_ = metrics.counter("server.zone_resign");
     grow_metric_ = metrics.counter("server.zone_cache_grow");
+    chain_memo_metric_ = metrics.counter("server.chain_memo_hit");
+    sha1_batch_metric_ = metrics.counter("crypto.sha1_batch");
   } else {
     hit_metric_ = nullptr;
     materialise_metric_ = nullptr;
     evict_metric_ = nullptr;
     resign_metric_ = nullptr;
     grow_metric_ = nullptr;
+    chain_memo_metric_ = nullptr;
+    sha1_batch_metric_ = nullptr;
   }
 }
 
@@ -178,7 +184,18 @@ std::shared_ptr<const Zone> AuthoritativeServer::lazy_zone(
   if (tracer_ != nullptr && tracer_->enabled())
     materialise_span = tracer_->span("server", "zone.materialise",
                                      apex.canonical().to_string());
+  // The chain memo and the batch kernel meter are thread-local; deltas
+  // around the provider call attribute their activity to this server.
+  const std::uint64_t memo_hits_before =
+      zone::Nsec3ChainMemo::instance().stats().hits;
+  const std::uint64_t sha1_batches_before = crypto::Sha1BatchMeter::batches();
   auto zone = provider_(apex);
+  if (chain_memo_metric_ != nullptr)
+    *chain_memo_metric_ +=
+        zone::Nsec3ChainMemo::instance().stats().hits - memo_hits_before;
+  if (sha1_batch_metric_ != nullptr)
+    *sha1_batch_metric_ +=
+        crypto::Sha1BatchMeter::batches() - sha1_batches_before;
   if (!zone) return nullptr;
   ++lazy_materialisations_;
   if (materialise_metric_ != nullptr) ++*materialise_metric_;

@@ -126,6 +126,11 @@ class AuthoritativeServer {
   trace::Metrics::Counter evict_metric_ = nullptr;
   trace::Metrics::Counter resign_metric_ = nullptr;
   trace::Metrics::Counter grow_metric_ = nullptr;
+  /// Chain-memo hits and multi-buffer SHA-1 batches attributable to this
+  /// server's materialisations (deltas of the thread-local meters around
+  /// each provider call).
+  trace::Metrics::Counter chain_memo_metric_ = nullptr;
+  trace::Metrics::Counter sha1_batch_metric_ = nullptr;
 };
 
 }  // namespace zh::server

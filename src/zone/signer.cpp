@@ -2,9 +2,11 @@
 
 #include <algorithm>
 
+#include "crypto/cost_meter.hpp"
 #include "crypto/signing.hpp"
 #include "dns/dnssec.hpp"
 #include "dns/encoding.hpp"
+#include "zone/chain_memo.hpp"
 
 namespace zh::zone {
 namespace {
@@ -159,54 +161,124 @@ SigningResult sign_zone(Zone& zone, const SignerConfig& config) {
     }
   } else {
     // NSEC3: hash every candidate (minus opted-out insecure delegations),
-    // sort by hash, link circularly.
+    // sort by hash, link circularly. The whole chain build — batch hashing
+    // plus per-entry RRSIGs — is memoised (zone/chain_memo.hpp): a lazy
+    // re-materialisation of an evicted zone replays the cached chain and
+    // credits the same *logical* hash cost without redoing the work.
     const std::uint32_t nsec3_expiration =
         config.nsec3_rrsig_expiration.value_or(config.expiration);
-    std::vector<Nsec3ChainEntry> entries;
+    const std::span<const std::uint8_t> salt_span(config.nsec3.salt.data(),
+                                                  config.nsec3.salt.size());
+
+    std::vector<Name> chain_names;
+    std::vector<dns::TypeBitmap> chain_bitmaps;
+    chain_names.reserve(candidates.size());
+    chain_bitmaps.reserve(candidates.size());
     for (const Candidate& candidate : candidates) {
       if (config.nsec3.opt_out && candidate.insecure_delegation) continue;
-      Nsec3ChainEntry entry;
-      entry.hash = dns::nsec3_hash_name(
-          candidate.name,
-          std::span<const std::uint8_t>(config.nsec3.salt.data(),
-                                        config.nsec3.salt.size()),
-          config.nsec3.iterations);
-      entry.owner =
-          zone.apex().prepended(dns::base32hex_encode(std::span<const std::uint8_t>(
-              entry.hash.data(), entry.hash.size()))).value_or(zone.apex());
-      entry.ttl = config.nsec_ttl;
-      entry.rdata.hash_algorithm = 1;
-      entry.rdata.flags =
-          config.nsec3.opt_out ? dns::Nsec3Rdata::kFlagOptOut : 0;
-      entry.rdata.iterations = config.nsec3.iterations;
-      entry.rdata.salt = config.nsec3.salt;
       const ZoneNode* node = zone.node(candidate.name);
-      entry.rdata.types = node_bitmap(zone, candidate.name, *node,
-                                      DenialMode::kNsec3,
-                                      /*will_be_signed=*/true);
-      entries.push_back(std::move(entry));
+      chain_names.push_back(candidate.name);
+      chain_bitmaps.push_back(node_bitmap(zone, candidate.name, *node,
+                                          DenialMode::kNsec3,
+                                          /*will_be_signed=*/true));
     }
-    std::sort(entries.begin(), entries.end(),
-              [](const Nsec3ChainEntry& a, const Nsec3ChainEntry& b) {
-                return std::lexicographical_compare(a.hash.begin(),
-                                                    a.hash.end(),
-                                                    b.hash.begin(),
-                                                    b.hash.end());
-              });
-    for (std::size_t i = 0; i < entries.size(); ++i)
-      entries[i].rdata.next_hash = entries[(i + 1) % entries.size()].hash;
 
-    // Sign each NSEC3 RRset.
-    for (Nsec3ChainEntry& entry : entries) {
-      RrSet set;
-      set.name = entry.owner;
-      set.type = RrType::kNsec3;
-      set.ttl = entry.ttl;
-      set.rdatas = {entry.rdata.encode()};
-      entry.rrsigs.push_back(make_rrsig(zone, set, config, zsk_key,
-                                        result.zsk, nsec3_expiration));
+    // Exact (collision-free) memo key over every input the finished chain
+    // depends on: identity + parameters + validity window + key seed, then
+    // each member name with its type bitmap.
+    Nsec3ChainMemo& memo = Nsec3ChainMemo::instance();
+    std::string memo_key;
+    bool chain_done = false;
+    if (memo.enabled()) {
+      ChainKeyBuilder kb;
+      const auto apex_wire = zone.apex().to_canonical_wire();
+      kb.add_bytes(std::span<const std::uint8_t>(apex_wire.data(),
+                                                 apex_wire.size()));
+      kb.add_string(seed);
+      kb.add_u16(config.nsec3.iterations);
+      kb.add_bytes(salt_span);
+      kb.add_bool(config.nsec3.opt_out);
+      kb.add_u32(config.nsec_ttl);
+      kb.add_u32(config.inception);
+      kb.add_u32(nsec3_expiration);
+      kb.add_u64(chain_names.size());
+      for (std::size_t i = 0; i < chain_names.size(); ++i) {
+        const auto wire = chain_names[i].to_canonical_wire();
+        kb.add_bytes(std::span<const std::uint8_t>(wire.data(), wire.size()));
+        const auto bitmap = chain_bitmaps[i].encode();
+        kb.add_bytes(
+            std::span<const std::uint8_t>(bitmap.data(), bitmap.size()));
+      }
+      memo_key = std::move(kb).take();
+      if (const auto* cached = memo.lookup(memo_key)) {
+        crypto::CostMeter::add_sha1_blocks(cached->cost.sha1_blocks);
+        crypto::CostMeter::add_sha2_blocks(cached->cost.sha2_blocks);
+        crypto::CostMeter::add_nsec3_hashes(cached->cost.nsec3_hashes);
+        zone.set_nsec3_chain(std::vector<Nsec3ChainEntry>(cached->entries),
+                             config.nsec3);
+        chain_done = true;
+      }
     }
-    zone.set_nsec3_chain(std::move(entries), config.nsec3);
+
+    if (!chain_done) {
+      const std::uint64_t sha1_before = crypto::CostMeter::sha1_blocks();
+      const std::uint64_t sha2_before = crypto::CostMeter::sha2_blocks();
+      const std::uint64_t nsec3_before = crypto::CostMeter::nsec3_hashes();
+
+      // Batch-hash the whole chain: the multi-buffer kernel fills SIMD
+      // lanes with independent names (dns::nsec3_hash_names).
+      const auto hashes = dns::nsec3_hash_names(
+          std::span<const Name>(chain_names.data(), chain_names.size()),
+          salt_span, config.nsec3.iterations);
+
+      std::vector<Nsec3ChainEntry> entries;
+      entries.reserve(chain_names.size());
+      for (std::size_t i = 0; i < chain_names.size(); ++i) {
+        Nsec3ChainEntry entry;
+        entry.hash = hashes[i];
+        entry.owner =
+            zone.apex().prepended(dns::base32hex_encode(std::span<const std::uint8_t>(
+                entry.hash.data(), entry.hash.size()))).value_or(zone.apex());
+        entry.ttl = config.nsec_ttl;
+        entry.rdata.hash_algorithm = 1;
+        entry.rdata.flags =
+            config.nsec3.opt_out ? dns::Nsec3Rdata::kFlagOptOut : 0;
+        entry.rdata.iterations = config.nsec3.iterations;
+        entry.rdata.salt = config.nsec3.salt;
+        entry.rdata.types = std::move(chain_bitmaps[i]);
+        entries.push_back(std::move(entry));
+      }
+      std::sort(entries.begin(), entries.end(),
+                [](const Nsec3ChainEntry& a, const Nsec3ChainEntry& b) {
+                  return std::lexicographical_compare(a.hash.begin(),
+                                                      a.hash.end(),
+                                                      b.hash.begin(),
+                                                      b.hash.end());
+                });
+      for (std::size_t i = 0; i < entries.size(); ++i)
+        entries[i].rdata.next_hash = entries[(i + 1) % entries.size()].hash;
+
+      // Sign each NSEC3 RRset.
+      for (Nsec3ChainEntry& entry : entries) {
+        RrSet set;
+        set.name = entry.owner;
+        set.type = RrType::kNsec3;
+        set.ttl = entry.ttl;
+        set.rdatas = {entry.rdata.encode()};
+        entry.rrsigs.push_back(make_rrsig(zone, set, config, zsk_key,
+                                          result.zsk, nsec3_expiration));
+      }
+
+      if (memo.enabled()) {
+        const ChainCost cost{
+            crypto::CostMeter::sha1_blocks() - sha1_before,
+            crypto::CostMeter::sha2_blocks() - sha2_before,
+            crypto::CostMeter::nsec3_hashes() - nsec3_before};
+        memo.insert(std::move(memo_key),
+                    std::vector<Nsec3ChainEntry>(entries), cost);
+      }
+      zone.set_nsec3_chain(std::move(entries), config.nsec3);
+    }
   }
 
   // 4. Sign every authoritative RRset. DNSKEY is signed by the KSK,

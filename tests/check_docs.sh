@@ -5,7 +5,10 @@
 #   2. every bench_* target registered in bench/CMakeLists.txt has a row
 #      in docs/BENCHMARKS.md;
 #   3. every page under docs/ is reachable: linked from at least one
-#      other markdown file (no orphan documentation).
+#      other markdown file (no orphan documentation);
+#   4. docs/PERFORMANCE.md exists and covers the crypto fast-path
+#      surface: both knobs, all three SHA-1 kernels, and the benches
+#      whose output the logical-cost contract protects.
 # Exits non-zero with one line per violation.
 set -u
 
@@ -77,9 +80,28 @@ for page in $docs_pages; do
   fi
 done
 
+# --- 4. performance-docs coverage ---------------------------------------
+# The fast paths are only safe while their invariants stay written down:
+# PERFORMANCE.md must name every kernel, both override knobs, and the
+# benches whose byte-identity the logical-cost contract guarantees.
+perf_doc=docs/PERFORMANCE.md
+if [ ! -f "$perf_doc" ]; then
+  echo "MISSING DOC: $perf_doc"
+  status=1
+else
+  for token in ZH_SHA1_IMPL ZH_CHAIN_MEMO scalar ssse3 avx2 \
+               bench_micro_nsec3 bench_cve_cost bench_dos_amplification; do
+    if ! grep -q "$token" "$perf_doc"; then
+      echo "INCOMPLETE PERFORMANCE DOC: $perf_doc does not mention $token"
+      status=1
+    fi
+  done
+fi
+
 if [ "$status" -eq 0 ]; then
   echo "check_docs: all markdown links resolve;" \
        "all $(echo "$benches" | wc -l | tr -d ' ') bench targets documented;" \
-       "all $(echo "$docs_pages" | wc -l | tr -d ' ') docs pages linked."
+       "all $(echo "$docs_pages" | wc -l | tr -d ' ') docs pages linked;" \
+       "performance doc covers the crypto fast-path surface."
 fi
 exit "$status"

@@ -247,5 +247,58 @@ TEST(BenchFlags, FrontendPortRejectsOutOfRange) {
   EXPECT_EQ(flags.pending_budget, 512u);  // zero budget would shed everything
 }
 
+TEST(BenchFlags, Sha1ImplParsesAndForwardsToWorkers) {
+  const crypto::Sha1Impl previous = crypto::sha1_impl();
+
+  Argv argv({"bench", "--sha1-impl", "scalar"});
+  const BenchFlags flags = parse_flags(argv.argc(), argv.argv());
+  ASSERT_TRUE(flags.sha1_impl.has_value());
+  EXPECT_EQ(*flags.sha1_impl, crypto::Sha1Impl::kScalar);
+  EXPECT_EQ(crypto::sha1_impl(), crypto::Sha1Impl::kScalar);
+  // Worker processes must hash through the same kernel.
+  EXPECT_EQ(flags.worker_args,
+            (std::vector<std::string>{"--sha1-impl", "scalar"}));
+
+  // Garbage is diagnosed and ignored: the active kernel stays put.
+  Argv argv2({"bench", "--sha1-impl", "turbo"});
+  const BenchFlags garbage = parse_flags(argv2.argc(), argv2.argv());
+  EXPECT_FALSE(garbage.sha1_impl.has_value());
+  EXPECT_EQ(crypto::sha1_impl(), crypto::Sha1Impl::kScalar);
+
+  crypto::set_sha1_impl(previous);
+}
+
+TEST(BenchFlags, ChainMemoParsesAndForwardsToWorkers) {
+  const std::size_t previous = zone::Nsec3ChainMemo::default_capacity();
+
+  Argv argv({"bench", "--chain-memo", "0"});
+  const BenchFlags flags = parse_flags(argv.argc(), argv.argv());
+  ASSERT_TRUE(flags.chain_memo.has_value());
+  EXPECT_EQ(*flags.chain_memo, 0u);
+  EXPECT_EQ(zone::Nsec3ChainMemo::default_capacity(), 0u);
+  EXPECT_EQ(flags.worker_args,
+            (std::vector<std::string>{"--chain-memo", "0"}));
+
+  // Negative and non-numeric values keep the previous default.
+  Argv argv2({"bench", "--chain-memo", "-4"});
+  const BenchFlags negative = parse_flags(argv2.argc(), argv2.argv());
+  EXPECT_FALSE(negative.chain_memo.has_value());
+  EXPECT_EQ(zone::Nsec3ChainMemo::default_capacity(), 0u);
+
+  Argv argv3({"bench", "--chain-memo", "many"});
+  const BenchFlags garbage = parse_flags(argv3.argc(), argv3.argv());
+  EXPECT_FALSE(garbage.chain_memo.has_value());
+  EXPECT_EQ(zone::Nsec3ChainMemo::default_capacity(), 0u);
+
+  // A valid value lands even in equals form.
+  Argv argv4({"bench", "--chain-memo=128"});
+  const BenchFlags large = parse_flags(argv4.argc(), argv4.argv());
+  ASSERT_TRUE(large.chain_memo.has_value());
+  EXPECT_EQ(*large.chain_memo, 128u);
+  EXPECT_EQ(zone::Nsec3ChainMemo::default_capacity(), 128u);
+
+  zone::Nsec3ChainMemo::set_default_capacity(previous);
+}
+
 }  // namespace
 }  // namespace zh::bench

@@ -3,12 +3,14 @@
 // the simulated signature scheme.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 
 #include "crypto/cost_meter.hpp"
 #include "crypto/hmac.hpp"
 #include "crypto/nsec3_hash.hpp"
 #include "crypto/sha1.hpp"
+#include "crypto/sha1_mb.hpp"
 #include "crypto/sha2.hpp"
 #include "crypto/signing.hpp"
 
@@ -312,6 +314,276 @@ TEST(SimSigning, TruncatedSignatureRejected) {
   const auto sig = key.sign(std::span<const std::uint8_t>(data));
   EXPECT_FALSE(sim_verify(key.public_key(), std::span<const std::uint8_t>(data),
                           std::span<const std::uint8_t>(sig.data(), 31)));
+}
+
+// --- Multi-buffer SHA-1 (sha1_mb.hpp) ---
+
+std::vector<Sha1Impl> supported_impls() {
+  std::vector<Sha1Impl> impls;
+  for (const Sha1Impl impl :
+       {Sha1Impl::kScalar, Sha1Impl::kSsse3, Sha1Impl::kAvx2})
+    if (sha1_impl_supported(impl)) impls.push_back(impl);
+  return impls;
+}
+
+/// Forces an implementation for one scope, restoring the previous one.
+class ScopedSha1Impl {
+ public:
+  explicit ScopedSha1Impl(Sha1Impl impl) : previous_(sha1_impl()) {
+    set_sha1_impl(impl);
+  }
+  ~ScopedSha1Impl() { set_sha1_impl(previous_); }
+
+ private:
+  Sha1Impl previous_;
+};
+
+/// Deterministic messages for ragged-batch tests: a mix of lengths hitting
+/// the padding edge cases (empty, 55/56 split, exact blocks, multi-block).
+std::vector<std::vector<std::uint8_t>> ragged_messages() {
+  std::vector<std::vector<std::uint8_t>> messages;
+  std::uint32_t lcg = 0x5eed1234u;
+  const std::size_t lengths[] = {0,  1,  55, 56,  63, 64,  65,  119,
+                                 120, 127, 128, 129, 200, 256, 300, 3};
+  for (const std::size_t len : lengths) {
+    std::vector<std::uint8_t> message(len);
+    for (auto& b : message) {
+      lcg = lcg * 1664525u + 1013904223u;
+      b = static_cast<std::uint8_t>(lcg >> 24);
+    }
+    messages.push_back(std::move(message));
+  }
+  return messages;
+}
+
+std::vector<std::span<const std::uint8_t>> as_spans(
+    const std::vector<std::vector<std::uint8_t>>& messages) {
+  std::vector<std::span<const std::uint8_t>> spans;
+  spans.reserve(messages.size());
+  for (const auto& m : messages) spans.emplace_back(m.data(), m.size());
+  return spans;
+}
+
+TEST(Sha1Multi, RegistryRoundTrip) {
+  EXPECT_STREQ(sha1_impl_name(Sha1Impl::kScalar), "scalar");
+  EXPECT_STREQ(sha1_impl_name(Sha1Impl::kSsse3), "ssse3");
+  EXPECT_STREQ(sha1_impl_name(Sha1Impl::kAvx2), "avx2");
+  EXPECT_EQ(parse_sha1_impl("scalar"), Sha1Impl::kScalar);
+  EXPECT_EQ(parse_sha1_impl("ssse3"), Sha1Impl::kSsse3);
+  EXPECT_EQ(parse_sha1_impl("avx2"), Sha1Impl::kAvx2);
+  EXPECT_FALSE(parse_sha1_impl("sse2").has_value());
+  EXPECT_FALSE(parse_sha1_impl("").has_value());
+  EXPECT_EQ(sha1_impl_lanes(Sha1Impl::kScalar), 1u);
+  EXPECT_EQ(sha1_impl_lanes(Sha1Impl::kSsse3), 4u);
+  EXPECT_EQ(sha1_impl_lanes(Sha1Impl::kAvx2), 8u);
+}
+
+TEST(Sha1Multi, ScalarAlwaysSupported) {
+  EXPECT_TRUE(sha1_impl_supported(Sha1Impl::kScalar));
+  EXPECT_TRUE(sha1_impl_supported(sha1_best_impl()));
+}
+
+TEST(Sha1Multi, UnsupportedRequestClampsToBest) {
+  const Sha1Impl original = sha1_impl();
+  for (const Sha1Impl impl :
+       {Sha1Impl::kScalar, Sha1Impl::kSsse3, Sha1Impl::kAvx2}) {
+    const Sha1Impl effective = set_sha1_impl(impl);
+    EXPECT_TRUE(sha1_impl_supported(effective));
+    if (sha1_impl_supported(impl)) {
+      EXPECT_EQ(effective, impl);
+    }
+    EXPECT_EQ(sha1_impl(), effective);
+  }
+  set_sha1_impl(original);
+}
+
+TEST(Sha1Multi, Rfc3174VectorsOnEveryImplementation) {
+  const std::vector<std::vector<std::uint8_t>> messages = {
+      bytes("abc"),
+      bytes("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+      bytes(""),
+      bytes(std::string(64, 'x')),
+  };
+  const std::vector<std::string> expected = {
+      "a9993e364706816aba3e25717850c26c9cd0d89d",
+      "84983e441c3bd26ebaae4aa1f95129e5e54670f1",
+      "da39a3ee5e6b4b0d3255bfef95601890afd80709",
+      hex(Sha1::hash(std::string_view(std::string(64, 'x')))),
+  };
+  for (const Sha1Impl impl : supported_impls()) {
+    ScopedSha1Impl scoped(impl);
+    const auto spans = as_spans(messages);
+    std::vector<Sha1::Digest> digests(messages.size());
+    sha1_multi_hash(std::span<const std::span<const std::uint8_t>>(
+                        spans.data(), spans.size()),
+                    digests.data());
+    for (std::size_t i = 0; i < messages.size(); ++i)
+      EXPECT_EQ(hex(digests[i]), expected[i])
+          << sha1_impl_name(impl) << " message " << i;
+  }
+}
+
+TEST(Sha1Multi, RaggedBatchesMatchSingleMessageHashing) {
+  const auto messages = ragged_messages();
+  const auto spans = as_spans(messages);
+
+  // Reference digests and the logical block count of a scalar
+  // message-at-a-time run.
+  std::vector<std::string> expected;
+  std::uint64_t expected_blocks = 0;
+  for (const auto& message : messages) {
+    expected.push_back(hex(
+        Sha1::hash(std::span<const std::uint8_t>(message.data(),
+                                                 message.size()))));
+    expected_blocks += (message.size() + 8) / Sha1::kBlockSize + 1;
+  }
+
+  for (const Sha1Impl impl : supported_impls()) {
+    ScopedSha1Impl scoped(impl);
+    // Partial final batch: every sub-batch size from 1 to count exercises
+    // lanes left idle at the tail.
+    for (std::size_t batch = 1; batch <= spans.size(); batch += 5) {
+      std::vector<Sha1::Digest> digests(spans.size());
+      CostMeter::reset();
+      for (std::size_t start = 0; start < spans.size(); start += batch) {
+        const std::size_t n = std::min(batch, spans.size() - start);
+        sha1_multi_hash(std::span<const std::span<const std::uint8_t>>(
+                            spans.data() + start, n),
+                        digests.data() + start);
+      }
+      for (std::size_t i = 0; i < spans.size(); ++i)
+        EXPECT_EQ(hex(digests[i]), expected[i])
+            << sha1_impl_name(impl) << " batch " << batch << " message " << i;
+      // Logical cost is invariant across implementations and batch splits,
+      // and batching never fakes physical work it did not do.
+      EXPECT_EQ(CostMeter::sha1_blocks(), expected_blocks)
+          << sha1_impl_name(impl) << " batch " << batch;
+      EXPECT_EQ(CostMeter::sha1_physical_blocks(), expected_blocks)
+          << sha1_impl_name(impl) << " batch " << batch;
+    }
+  }
+}
+
+TEST(Sha1Multi, IterateMatchesScalarLoop) {
+  const std::vector<std::uint8_t> suffix = {0xaa, 0xbb, 0xcc, 0xdd};
+  constexpr std::uint16_t kIterations = 17;
+  // 5 digests: a partial final group on every implementation width.
+  std::vector<Sha1::Digest> seed(5);
+  for (std::size_t i = 0; i < seed.size(); ++i)
+    seed[i] = Sha1::hash(std::string_view(std::string(i + 1, 'q')));
+
+  // Scalar reference.
+  std::vector<Sha1::Digest> expected = seed;
+  for (auto& digest : expected) {
+    for (std::uint16_t it = 0; it < kIterations; ++it) {
+      Sha1 h;
+      h.update(std::span<const std::uint8_t>(digest.data(), digest.size()));
+      h.update(std::span<const std::uint8_t>(suffix.data(), suffix.size()));
+      digest = h.finalize();
+    }
+  }
+
+  for (const Sha1Impl impl : supported_impls()) {
+    ScopedSha1Impl scoped(impl);
+    std::vector<Sha1::Digest> digests = seed;
+    CostMeter::reset();
+    sha1_multi_iterate(std::span<Sha1::Digest>(digests.data(), digests.size()),
+                       std::span<const std::uint8_t>(suffix.data(),
+                                                     suffix.size()),
+                       kIterations);
+    for (std::size_t i = 0; i < digests.size(); ++i)
+      EXPECT_EQ(hex(digests[i]), hex(expected[i]))
+          << sha1_impl_name(impl) << " digest " << i;
+    // 20B digest + 4B suffix + padding = 1 block per iteration per digest.
+    EXPECT_EQ(CostMeter::sha1_blocks(), seed.size() * kIterations)
+        << sha1_impl_name(impl);
+    EXPECT_EQ(CostMeter::sha1_physical_blocks(), seed.size() * kIterations)
+        << sha1_impl_name(impl);
+  }
+}
+
+TEST(Sha1Multi, BatchMeterCountsBatchesAndMessages) {
+  Sha1BatchMeter::reset();
+  const auto messages = ragged_messages();
+  const auto spans = as_spans(messages);
+  std::vector<Sha1::Digest> digests(spans.size());
+  sha1_multi_hash(std::span<const std::span<const std::uint8_t>>(
+                      spans.data(), spans.size()),
+                  digests.data());
+  EXPECT_EQ(Sha1BatchMeter::batches(), 1u);
+  EXPECT_EQ(Sha1BatchMeter::messages(), spans.size());
+}
+
+// --- Batched NSEC3 hashing ---
+
+TEST(Nsec3Batch, Rfc5155VectorsViaBatch) {
+  const std::vector<std::uint8_t> salt = {0xaa, 0xbb, 0xcc, 0xdd};
+  const std::vector<std::vector<std::uint8_t>> owners = {
+      wire_name({"example"}), wire_name({"a", "example"})};
+  for (const Sha1Impl impl : supported_impls()) {
+    ScopedSha1Impl scoped(impl);
+    const auto spans = as_spans(owners);
+    std::vector<Nsec3Digest> digests(owners.size());
+    nsec3_hash_batch(std::span<const std::span<const std::uint8_t>>(
+                         spans.data(), spans.size()),
+                     std::span<const std::uint8_t>(salt.data(), salt.size()),
+                     12, digests.data());
+    EXPECT_EQ(base32hex(std::span<const std::uint8_t>(digests[0].data(), 20)),
+              "0p9mhaveqvm6t7vbl5lop2u3t2rp3tom")
+        << sha1_impl_name(impl);
+    EXPECT_EQ(base32hex(std::span<const std::uint8_t>(digests[1].data(), 20)),
+              "35mthgpgcu1qg68fab165klnsnk3dpvl")
+        << sha1_impl_name(impl);
+  }
+}
+
+TEST(Nsec3Batch, MatchesSingleHashingAcrossImplementations) {
+  // Ragged owner names (1–60 byte wire forms) under a non-trivial salt and
+  // iteration count; batch digests and logical accounting must match the
+  // one-at-a-time path exactly on every implementation.
+  std::vector<std::vector<std::uint8_t>> owners;
+  for (std::size_t i = 0; i < 13; ++i)
+    owners.push_back(wire_name(
+        {std::string(1 + (i * 7) % 40, static_cast<char>('a' + (i % 26))),
+         "example"}));
+  const std::vector<std::uint8_t> salt = {0x5a, 0x5a, 0x5a};
+  constexpr std::uint16_t kIterations = 10;
+
+  std::vector<std::string> expected;
+  CostMeter::reset();
+  for (const auto& owner : owners)
+    expected.push_back(hex(nsec3_hash(
+        std::span<const std::uint8_t>(owner.data(), owner.size()),
+        std::span<const std::uint8_t>(salt.data(), salt.size()),
+        kIterations)));
+  const std::uint64_t expected_sha1 = CostMeter::sha1_blocks();
+  const std::uint64_t expected_nsec3 = CostMeter::nsec3_hashes();
+
+  for (const Sha1Impl impl : supported_impls()) {
+    ScopedSha1Impl scoped(impl);
+    const auto spans = as_spans(owners);
+    std::vector<Nsec3Digest> digests(owners.size());
+    CostMeter::reset();
+    nsec3_hash_batch(std::span<const std::span<const std::uint8_t>>(
+                         spans.data(), spans.size()),
+                     std::span<const std::uint8_t>(salt.data(), salt.size()),
+                     kIterations, digests.data());
+    for (std::size_t i = 0; i < owners.size(); ++i)
+      EXPECT_EQ(hex(digests[i]), expected[i])
+          << sha1_impl_name(impl) << " owner " << i;
+    EXPECT_EQ(CostMeter::sha1_blocks(), expected_sha1) << sha1_impl_name(impl);
+    EXPECT_EQ(CostMeter::nsec3_hashes(), expected_nsec3)
+        << sha1_impl_name(impl);
+    EXPECT_EQ(CostMeter::sha1_physical_blocks(), expected_sha1)
+        << sha1_impl_name(impl);
+  }
+}
+
+TEST(Nsec3Batch, EmptyBatchIsANoOp) {
+  CostMeter::reset();
+  nsec3_hash_batch({}, {}, 100, nullptr);
+  EXPECT_EQ(CostMeter::sha1_blocks(), 0u);
+  EXPECT_EQ(CostMeter::nsec3_hashes(), 0u);
 }
 
 TEST(CostMeter, ScopedMeasurement) {
