@@ -1,0 +1,266 @@
+// Aggressive negative caching (RFC 8198) as an amplification *deflation*:
+// water-torture NXDOMAIN mixes against a validating resolver, with the
+// NSEC3 interval cache off vs on (ISSUE 9).
+//
+// CVE-2023-50868's cost model is per-query: every unique junk name forces
+// the resolver to fetch a closest-encloser proof and grind its NSEC3
+// hashes. A small zone's chain is only a handful of intervals, so a warm
+// aggressive cache covers the entire hash space after the first few
+// proofs — every later unique name is answered from cache (RFC 8198 §5.1)
+// with zero authoritative fetches and zero new hash work. The bench
+// measures that deflation directly: SHA-1 blocks and upstream queries per
+// client query, synth-off vs synth-on, over a (zone kind × iterations)
+// grid. Opt-out zones are the control: their spans must never prove
+// NXDOMAIN (§5.2 caveat), so synth-on absorbs nothing there and the
+// refusal counter — the "breakage rate" the cache would have caused had
+// it ignored the flag — is nonzero.
+//
+// Determinism: every cell is a fresh world, query names and flow keys are
+// cell-tagged, and cells run in fixed grid order; the table and JSON are
+// byte-identical run to run for a given flag set.
+//
+// Emits BENCH_aggressive_cache.json (CI uploads a reduced grid). Exit 3
+// unless, at the 150-iteration cover zone: synth-on deflates SHA-1
+// blocks/query by > 1.1x, absorbs at least half the upstream queries, and
+// the opt-out control shows a nonzero refusal rate.
+//
+// Flags (bench_common.hpp vocabulary): --latency/--jitter shape the link
+// (default 10 ms clean), --neg-cache-cap / --failure-cache-ttl size the
+// caches under test; --aggressive-nsec is ignored — the on/off axis IS the
+// grid. ZH_LIMIT caps measured queries per cell (default 200).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/stats.hpp"
+#include "bench_common.hpp"
+#include "crypto/cost_meter.hpp"
+#include "simnet/exchange.hpp"
+
+namespace {
+
+using namespace zh;
+
+constexpr std::uint16_t kTiers[] = {0, 50, 150};
+
+struct Cell {
+  bool opt_out = false;
+  std::uint16_t iterations = 0;
+  bool synth = false;
+
+  std::uint64_t queries = 0;
+  std::uint64_t upstream = 0;      // authoritative fetches in the window
+  std::uint64_t sha1_blocks = 0;   // CostMeter delta across the window
+  std::uint64_t synth_hits = 0;
+  std::uint64_t optout_refusals = 0;
+  std::uint64_t nxdomains = 0;     // sanity: every probe must deny
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+
+  double per_query(std::uint64_t n) const {
+    return queries ? static_cast<double>(n) / static_cast<double>(queries)
+                   : 0.0;
+  }
+};
+
+void run_cell(Cell& cell, const bench::BenchFlags& flags, std::uint64_t seed,
+              std::size_t limit) {
+  // A fresh world per cell: the victim's caches (answer, aggressive,
+  // failure) must not leak across the grid.
+  testbed::Internet internet;
+  testbed::DomainConfig config;
+  config.apex = dns::Name::must_parse(cell.opt_out ? "wt-optout.example"
+                                                   : "wt-cover.example");
+  config.nsec3 = {.iterations = cell.iterations,
+                  .salt = {0xab, 0xcd},
+                  .opt_out = cell.opt_out};
+  internet.add_domain(config);
+  internet.build();
+
+  // The victim: a permissive validator (no iteration cut-off — it grinds
+  // even the 150-iteration proofs in full, which is what makes the
+  // deflation visible), with the aggressive caches switched on in the
+  // synth cells only.
+  resolver::ResolverProfile profile = resolver::ResolverProfile::permissive();
+  if (cell.synth)
+    profile.enable_aggressive(
+        flags.neg_cache_cap,
+        simtime::Duration::from_ms(flags.failure_cache_ttl_ms));
+  const auto victim =
+      internet.make_resolver(profile, simnet::IpAddress::v4(10, 77, 0, 1));
+
+  simnet::Network& network = internet.network();
+  network.set_latency_model(flags.latency_model(seed));
+  network.set_service_model({.per_sha1_block = simtime::Duration::from_us(1)});
+
+  char prefix[40];
+  std::snprintf(prefix, sizeof prefix, "ac-%c-%03u-%d",
+                cell.opt_out ? 'o' : 'c', cell.iterations,
+                cell.synth ? 1 : 0);
+
+  const auto probe = [&](const char* tag, std::size_t i) {
+    char token[64];
+    std::snprintf(token, sizeof token, "%s-%s%04zu", prefix, tag, i);
+    network.set_flow(simtime::fnv1a(token));
+    const auto qname = *config.apex.prepended(token);
+    return simnet::exchange(
+        network, simnet::IpAddress::v4(203, 0, 113, 7), victim->address(),
+        dns::Message::make_query(static_cast<std::uint16_t>(1 + i), qname,
+                                 dns::RrType::kA, /*dnssec_ok=*/true),
+        flags.retry);
+  };
+
+  // Warm-up, outside the measured window: root/TLD/DNSKEY fetches plus —
+  // in the synth cells — the proofs that populate the interval cache. The
+  // zone's chain is a handful of intervals, so a few unique junk names
+  // cover the whole hash space (cache-warm repeated-cover mix).
+  for (std::size_t i = 0; i < 8; ++i) (void)probe("warm", i);
+
+  const resolver::ResolverStats& stats = victim->stats();
+  const std::uint64_t upstream_before = stats.upstream_queries;
+  const std::uint64_t synth_before = stats.neg_synth_hits;
+  const std::uint64_t refusal_before = stats.neg_synth_optout_refusals;
+  const std::uint64_t sha1_before = crypto::CostMeter::sha1_blocks();
+
+  analysis::Ecdf elapsed_us;
+  for (std::size_t i = 0; i < limit; ++i) {
+    const simnet::ExchangeOutcome out = probe("nx", i);
+    ++cell.queries;
+    elapsed_us.add(out.elapsed.micros());
+    if (out.response && out.response->header.rcode == dns::Rcode::kNxDomain)
+      ++cell.nxdomains;
+  }
+
+  cell.upstream = stats.upstream_queries - upstream_before;
+  cell.synth_hits = stats.neg_synth_hits - synth_before;
+  cell.optout_refusals = stats.neg_synth_optout_refusals - refusal_before;
+  cell.sha1_blocks = crypto::CostMeter::sha1_blocks() - sha1_before;
+  cell.p50_ms = static_cast<double>(elapsed_us.percentile(0.50)) / 1000.0;
+  cell.p99_ms = static_cast<double>(elapsed_us.percentile(0.99)) / 1000.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchFlags flags = bench::parse_flags(argc, argv);
+  // The deflation story is about work absorbed, not link quality: default
+  // to a clean 10 ms link so the p50/p99 columns show the fetch savings.
+  if (flags.latency_ms <= 0.0 && flags.jitter_ms <= 0.0)
+    flags.latency_ms = 10.0;
+  const std::uint64_t seed = bench::env_u64("ZH_SEED", 42);
+  const std::size_t limit =
+      static_cast<std::size_t>(bench::env_u64("ZH_LIMIT", 200));
+
+  std::vector<Cell> cells;
+  for (const bool opt_out : {false, true})
+    for (const std::uint16_t tier : kTiers)
+      for (const bool synth : {false, true})
+        cells.push_back({opt_out, tier, synth});
+
+  std::printf("# water-torture: %zu unique junk names per cell (8 warm), "
+              "link %.1f ms RTT, service 1 µs/SHA-1 block\n"
+              "# victim: permissive validator, neg-cache cap %zu, failure "
+              "TTL %lld ms\n",
+              limit, flags.latency_ms, flags.neg_cache_cap,
+              static_cast<long long>(flags.failure_cache_ttl_ms));
+  std::printf("%8s %8s %6s %9s %12s %10s %10s %10s %10s\n", "zone", "add.it.",
+              "synth", "upstream", "sha1/query", "synth-hit", "refusals",
+              "p50", "p99");
+  for (Cell& cell : cells) {
+    run_cell(cell, flags, seed, limit);
+    std::printf("%8s %8u %6s %9llu %12.1f %10llu %10llu %7.2f ms %7.2f ms\n",
+                cell.opt_out ? "opt-out" : "cover", cell.iterations,
+                cell.synth ? "on" : "off",
+                static_cast<unsigned long long>(cell.upstream),
+                cell.per_query(cell.sha1_blocks),
+                static_cast<unsigned long long>(cell.synth_hits),
+                static_cast<unsigned long long>(cell.optout_refusals),
+                cell.p50_ms, cell.p99_ms);
+    if (cell.nxdomains != cell.queries)
+      std::printf("# WARNING: %llu/%llu probes did not come back NXDOMAIN\n",
+                  static_cast<unsigned long long>(cell.nxdomains),
+                  static_cast<unsigned long long>(cell.queries));
+  }
+
+  // Headline pair: the 150-iteration cover zone, off vs on — the
+  // CVE-2023-50868 mix the ISSUE acceptance bar is set on.
+  const auto find_cell = [&](bool opt_out, std::uint16_t it,
+                             bool synth) -> const Cell& {
+    for (const Cell& cell : cells)
+      if (cell.opt_out == opt_out && cell.iterations == it &&
+          cell.synth == synth)
+        return cell;
+    return cells.front();
+  };
+  const Cell& off150 = find_cell(false, 150, false);
+  const Cell& on150 = find_cell(false, 150, true);
+  const Cell& optout150 = find_cell(true, 150, true);
+  const double deflation =
+      on150.per_query(on150.sha1_blocks) > 0.0
+          ? off150.per_query(off150.sha1_blocks) /
+                on150.per_query(on150.sha1_blocks)
+          : 0.0;
+  const double absorbed =
+      off150.upstream
+          ? 1.0 - static_cast<double>(on150.upstream) /
+                      static_cast<double>(off150.upstream)
+          : 0.0;
+  const double breakage =
+      optout150.per_query(optout150.optout_refusals);
+  std::printf("# cover@150: %.2fx SHA-1 deflation, %.0f%% upstream queries "
+              "absorbed; opt-out control refusal rate %.2f/query\n",
+              deflation, 100.0 * absorbed, breakage);
+
+  const char* out_path = std::getenv("ZH_OUT");
+  if (!out_path || !*out_path) out_path = "BENCH_aggressive_cache.json";
+  std::FILE* out = std::fopen(out_path, "w");
+  if (!out) {
+    std::fprintf(stderr, "FAILED writing %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"aggressive_cache\",\n");
+  std::fprintf(out,
+               "  \"limit\": %zu,\n  \"latency_ms\": %g,\n"
+               "  \"neg_cache_cap\": %zu,\n  \"failure_cache_ttl_ms\": %lld,\n",
+               limit, flags.latency_ms, flags.neg_cache_cap,
+               static_cast<long long>(flags.failure_cache_ttl_ms));
+  std::fprintf(out,
+               "  \"sha1_deflation_cover150\": %.3f,\n"
+               "  \"upstream_absorbed_cover150\": %.3f,\n"
+               "  \"optout_refusal_rate\": %.3f,\n",
+               deflation, absorbed, breakage);
+  std::fprintf(out, "  \"cells\": [\n");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    std::fprintf(
+        out,
+        "    {\"zone\": \"%s\", \"iterations\": %u, \"synth\": %s, "
+        "\"queries\": %llu, \"upstream_queries\": %llu, "
+        "\"sha1_blocks\": %llu, \"sha1_per_query\": %.3f, "
+        "\"synth_hits\": %llu, \"optout_refusals\": %llu, "
+        "\"p50_ms\": %.3f, \"p99_ms\": %.3f}%s\n",
+        cell.opt_out ? "opt-out" : "cover", cell.iterations,
+        cell.synth ? "true" : "false",
+        static_cast<unsigned long long>(cell.queries),
+        static_cast<unsigned long long>(cell.upstream),
+        static_cast<unsigned long long>(cell.sha1_blocks),
+        cell.per_query(cell.sha1_blocks),
+        static_cast<unsigned long long>(cell.synth_hits),
+        static_cast<unsigned long long>(cell.optout_refusals), cell.p50_ms,
+        cell.p99_ms, i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("# written %s\n", out_path);
+
+  const bool accepted = deflation > 1.1 && absorbed >= 0.5 &&
+                        optout150.optout_refusals > 0;
+  if (!accepted)
+    std::printf("# ACCEPTANCE FAILED: need deflation > 1.1x (got %.2fx), "
+                ">= 50%% upstream absorbed (got %.0f%%), opt-out refusals "
+                "> 0 (got %llu)\n",
+                deflation, 100.0 * absorbed,
+                static_cast<unsigned long long>(optout150.optout_refusals));
+  return accepted ? 0 : 3;
+}

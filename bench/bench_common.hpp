@@ -30,6 +30,15 @@
 //   ZH_CHAIN_MEMO      NSEC3 chain memo capacity, 0 disables (also
 //                      --chain-memo N; default 4096, auto-grown to the
 //                      domain population — see src/zone/chain_memo.hpp)
+//   ZH_AGGRESSIVE_NSEC on | off RFC 8198 aggressive NSEC3 caching + RFC
+//                      9520 failure caching in the scan resolver (also
+//                      --aggressive-nsec E; default off — off is
+//                      byte-identical to the goldens)
+//   ZH_NEG_CACHE_CAP   aggressive-cache interval capacity (also
+//                      --neg-cache-cap N; default 4096)
+//   ZH_FAILURE_CACHE_TTL  first-failure cache TTL in ms (also
+//                      --failure-cache-ttl MS; default 5000, clamped into
+//                      RFC 9520's [1 s, 5 min])
 #pragma once
 
 #include <cerrno>
@@ -105,6 +114,11 @@ inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
 ///                               ssse3, avx2) — outputs are impl-invariant
 ///   --chain-memo N              NSEC3 chain memo capacity (0 disables) —
 ///                               outputs are memo-invariant
+///   --aggressive-nsec E         on or off (default): RFC 8198 synthesis +
+///                               RFC 9520 failure caching in the scan
+///                               resolver — off is byte-identical to goldens
+///   --neg-cache-cap N           aggressive-cache interval capacity
+///   --failure-cache-ttl MS      first-failure cache TTL in milliseconds
 /// Unknown flags are ignored, so benches can add their own on top.
 struct BenchFlags {
   unsigned jobs = 1;
@@ -139,6 +153,12 @@ struct BenchFlags {
   /// NSEC3 chain memo capacity forced via --chain-memo (already installed
   /// as the process default); nullopt = env/default sizing.
   std::optional<std::size_t> chain_memo;
+  /// RFC 8198 aggressive NSEC3 caching (+ RFC 9520 failure caching) in the
+  /// scan resolver / synth-capable panels. nullopt = off, the golden-stable
+  /// default; set via --aggressive-nsec / ZH_AGGRESSIVE_NSEC.
+  std::optional<bool> aggressive_nsec;
+  std::size_t neg_cache_cap = 4096;
+  std::int64_t failure_cache_ttl_ms = 5000;
   /// This binary (argv[0]) and the arguments a worker re-exec needs —
   /// everything parsed above minus the process-orchestration and trace
   /// flags (workers get their sub-shard flags appended by the spawner).
@@ -154,6 +174,27 @@ struct BenchFlags {
   }
 
   bool trace_enabled() const noexcept { return !trace_path.empty(); }
+
+  bool aggressive() const noexcept { return aggressive_nsec.value_or(false); }
+
+  /// Turns the aggressive-cache flags on in `profile` — a no-op while the
+  /// capability is off, which keeps synth-off runs byte-identical to the
+  /// goldens (the profile, metrics and caches are all untouched).
+  void apply_aggressive(resolver::ResolverProfile& profile) const {
+    if (!aggressive()) return;
+    profile.enable_aggressive(
+        neg_cache_cap, simtime::Duration::from_ms(failure_cache_ttl_ms));
+  }
+
+  /// The scan-resolver profile campaign benches hand to
+  /// scanner::default_world_factory: the historical Cloudflare profile,
+  /// with the aggressive caches switched on when the flags ask for them.
+  resolver::ResolverProfile scan_profile() const {
+    resolver::ResolverProfile profile =
+        resolver::ResolverProfile::cloudflare();
+    apply_aggressive(profile);
+    return profile;
+  }
 
   simtime::LatencyModel latency_model(std::uint64_t seed) const {
     if (latency_ms <= 0.0 && jitter_ms <= 0.0) return {};
@@ -188,6 +229,15 @@ struct BenchFlags {
 inline std::optional<scanner::Engine> parse_engine(const char* name) {
   if (std::strcmp(name, "blocking") == 0) return scanner::Engine::kBlocking;
   if (std::strcmp(name, "async") == 0) return scanner::Engine::kAsync;
+  return std::nullopt;
+}
+
+/// "on"/"1" → true, "off"/"0" → false; nullopt for anything else.
+inline std::optional<bool> parse_on_off(const char* value) {
+  if (std::strcmp(value, "on") == 0 || std::strcmp(value, "1") == 0)
+    return true;
+  if (std::strcmp(value, "off") == 0 || std::strcmp(value, "0") == 0)
+    return false;
   return std::nullopt;
 }
 
@@ -229,6 +279,19 @@ inline BenchFlags parse_flags(int argc, char** argv) {
     if (const auto parsed = trace::parse_format(format))
       flags.trace_format = *parsed;
   }
+  if (const char* aggressive = std::getenv("ZH_AGGRESSIVE_NSEC")) {
+    if (const auto parsed = parse_on_off(aggressive)) {
+      flags.aggressive_nsec = *parsed;
+    } else {
+      std::fprintf(stderr, "# unknown ZH_AGGRESSIVE_NSEC '%s' (on|off)\n",
+                   aggressive);
+    }
+  }
+  flags.neg_cache_cap = static_cast<std::size_t>(
+      env_u64("ZH_NEG_CACHE_CAP", flags.neg_cache_cap));
+  flags.failure_cache_ttl_ms = static_cast<std::int64_t>(env_u64(
+      "ZH_FAILURE_CACHE_TTL",
+      static_cast<std::uint64_t>(flags.failure_cache_ttl_ms)));
 
   // `--flag V` / `--flag=V`: returns the value string, or nullptr.
   const auto value_of = [&](int& i, const char* name) -> const char* {
@@ -335,6 +398,36 @@ inline BenchFlags parse_flags(int argc, char** argv) {
         flags.chain_memo = static_cast<std::size_t>(parsed);
         zone::Nsec3ChainMemo::set_default_capacity(*flags.chain_memo);
       }
+    } else if (const char* v = value_of(i, "--aggressive-nsec")) {
+      if (const auto parsed = parse_on_off(v)) {
+        flags.aggressive_nsec = *parsed;
+      } else {
+        std::fprintf(stderr, "# unknown --aggressive-nsec '%s' (on|off)\n", v);
+      }
+    } else if (const char* v = value_of(i, "--neg-cache-cap")) {
+      errno = 0;
+      char* end = nullptr;
+      const long long parsed = std::strtoll(v, &end, 10);
+      if (errno != 0 || end == v || *end != '\0' || parsed <= 0) {
+        std::fprintf(stderr,
+                     "# --neg-cache-cap '%s' is not a positive integer; "
+                     "keeping %llu\n",
+                     v, static_cast<unsigned long long>(flags.neg_cache_cap));
+      } else {
+        flags.neg_cache_cap = static_cast<std::size_t>(parsed);
+      }
+    } else if (const char* v = value_of(i, "--failure-cache-ttl")) {
+      errno = 0;
+      char* end = nullptr;
+      const long long parsed = std::strtoll(v, &end, 10);
+      if (errno != 0 || end == v || *end != '\0' || parsed <= 0) {
+        std::fprintf(stderr,
+                     "# --failure-cache-ttl '%s' is not a positive integer "
+                     "(milliseconds); keeping %lld\n",
+                     v, static_cast<long long>(flags.failure_cache_ttl_ms));
+      } else {
+        flags.failure_cache_ttl_ms = parsed;
+      }
     } else if (std::strcmp(arg, "--merge-shards") == 0) {
       forward = false;
       for (++i; i < argc; ++i) flags.merge_shards.push_back(argv[i]);
@@ -402,6 +495,21 @@ inline void print_stage_breakdown(const BenchFlags& flags,
   row("recurse", recurse);
   row("validate", validate);
   row("queue-wait", queue_wait);
+}
+
+/// Prints the RFC 8198/9520 campaign counters. Gated on --aggressive-nsec
+/// so synth-off output stays byte-identical to the goldens; the counters
+/// themselves are jobs/procs/engine-invariant (per-shard metric deltas).
+inline void print_aggressive_counters(const BenchFlags& flags,
+                                      std::uint64_t neg_synth_hits,
+                                      std::uint64_t failure_cache_hits) {
+  if (!flags.aggressive()) return;
+  std::printf("# aggressive-nsec: %llu answers synthesized, %llu "
+              "failure-cache hits (cap %llu, failure TTL %lldms)\n",
+              static_cast<unsigned long long>(neg_synth_hits),
+              static_cast<unsigned long long>(failure_cache_hits),
+              static_cast<unsigned long long>(flags.neg_cache_cap),
+              static_cast<long long>(flags.failure_cache_ttl_ms));
 }
 
 /// A fully built world: internet + population spec + probe zones + the

@@ -23,7 +23,10 @@ int main(int argc, char** argv) {
   flags.apply(options);
   const auto start = std::chrono::steady_clock::now();
   const auto result = bench::run_domain_campaign(
-      flags, spec, scanner::default_world_factory(spec), options);
+      flags, spec,
+      scanner::default_world_factory(spec, /*with_domains=*/true,
+                                     flags.scan_profile()),
+      options);
   if (!result) return 0;  // worker mode: the shard artefact is the output
   const scanner::ParallelCampaignResult& campaign = *result;
   const double secs =
@@ -41,6 +44,8 @@ int main(int argc, char** argv) {
   bench::print_stage_breakdown(flags, stats.stage_resolve_us,
                                stats.stage_recurse_us, stats.stage_validate_us,
                                stats.stage_queue_wait_us);
+  bench::print_aggressive_counters(flags, stats.neg_synth_hits,
+                                   stats.failure_cache_hits);
 
   analysis::print_ascii_cdf("Figure 1a: CDF of additional iterations "
                             "(NSEC3-enabled domains), x in [0,50]",

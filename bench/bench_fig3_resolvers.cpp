@@ -53,7 +53,12 @@ int main(int argc, char** argv) {
   std::uint32_t address_base = 1u << 20;
 
   for (const auto panel : panels) {
-    const auto panel_spec = workload::figure3_panel(panel, rscale);
+    auto panel_spec = workload::figure3_panel(panel, rscale);
+    // --aggressive-nsec: every panel stratum gains the RFC 8198/9520
+    // caches — the new sweep axis (ISSUE 9). Off (the default) leaves the
+    // panel byte-identical to the golden populations.
+    for (auto& entry : panel_spec.entries)
+      flags.apply_aggressive(entry.profile);
     scanner::ParallelOptions options{.base_seed = spec.options().seed};
     flags.apply(options);
     const auto start = std::chrono::steady_clock::now();
@@ -87,6 +92,8 @@ int main(int argc, char** argv) {
                                  stats.stage_recurse_us,
                                  stats.stage_validate_us,
                                  stats.stage_queue_wait_us);
+    bench::print_aggressive_counters(flags, stats.neg_synth_hits,
+                                     stats.failure_cache_hits);
 
     if (const char* dir = std::getenv("ZH_OUTPUT_DIR")) {
       analysis::Table table(

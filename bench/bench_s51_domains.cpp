@@ -18,7 +18,9 @@ int main(int argc, char** argv) {
   flags.apply(options);
   const auto start = std::chrono::steady_clock::now();
   const auto result = bench::run_domain_campaign(
-      flags, *world.spec, scanner::default_world_factory(*world.spec),
+      flags, *world.spec,
+      scanner::default_world_factory(*world.spec, /*with_domains=*/true,
+                                     flags.scan_profile()),
       options);
   if (!result) return 0;  // worker mode: artefact written (census is
                           // parent-side work — it is not sharded)
@@ -33,6 +35,8 @@ int main(int argc, char** argv) {
   bench::write_trace(flags, campaign.trace);
   bench::print_stage_breakdown(flags, s.stage_resolve_us, s.stage_recurse_us,
                                s.stage_validate_us, s.stage_queue_wait_us);
+  bench::print_aggressive_counters(flags, s.neg_synth_hits,
+                                   s.failure_cache_hits);
 
   const double nsec3 = static_cast<double>(s.nsec3);
   analysis::print_comparison(

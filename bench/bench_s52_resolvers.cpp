@@ -24,7 +24,11 @@ int main(int argc, char** argv) {
       workload::Panel::kOpenV4, workload::Panel::kOpenV6,
       workload::Panel::kClosedV4, workload::Panel::kClosedV6};
   for (int p = 0; p < 4; ++p) {
-    const auto panel_spec = workload::figure3_panel(panels[p], rscale);
+    auto panel_spec = workload::figure3_panel(panels[p], rscale);
+    // --aggressive-nsec: the ISSUE 9 sweep axis (no-op when off, keeping
+    // the golden populations untouched).
+    for (auto& entry : panel_spec.entries)
+      flags.apply_aggressive(entry.profile);
     scanner::ParallelOptions options{.base_seed = spec.options().seed};
     flags.apply(options);
     const auto result = bench::run_resolver_sweep(
@@ -45,6 +49,8 @@ int main(int argc, char** argv) {
   bench::print_stage_breakdown(flags, all.stage_resolve_us,
                                all.stage_recurse_us, all.stage_validate_us,
                                all.stage_queue_wait_us);
+  bench::print_aggressive_counters(flags, all.neg_synth_hits,
+                                   all.failure_cache_hits);
 
   const double v = static_cast<double>(all.validators);
   const auto limit_count = [&](const std::map<std::uint16_t, std::uint64_t>&

@@ -32,6 +32,16 @@ ResolverProfile ResolverProfile::bind9_2023() {
 ResolverProfile ResolverProfile::unbound() {
   return software("unbound-1.13.2", 150, /*emit_ede27=*/false);
 }
+ResolverProfile ResolverProfile::unbound_aggressive() {
+  // Unbound with `aggressive-nsec: yes` (on by default since 1.16) plus
+  // RFC 9520 failure caching — same iteration policy as unbound(), the
+  // caches are the only behavioural difference.
+  ResolverProfile profile = software("unbound-1.19-aggressive", 150,
+                                     /*emit_ede27=*/false);
+  profile.aggressive_nsec = true;
+  profile.failure_caching = true;
+  return profile;
+}
 ResolverProfile ResolverProfile::knot_2021() {
   return software("knot-resolver-5.3.1", 150, /*emit_ede27=*/false);
 }

@@ -103,10 +103,38 @@ struct ResolverProfile {
   /// resolver queueless — the default, which keeps goldens byte-identical.
   std::optional<simtime::QueueModel> queue;
 
+  /// RFC 8198 aggressive use of the DNSSEC-validated cache: synthesize
+  /// NXDOMAIN/NODATA from cached NSEC3 intervals instead of re-querying
+  /// the authoritative. Off by default — synth-off behaviour (and output)
+  /// is byte-identical to a build without the subsystem.
+  bool aggressive_nsec = false;
+  /// Interval capacity of the aggressive cache (see resolver/negcache.hpp).
+  std::size_t neg_cache_capacity = 4096;
+
+  /// RFC 9520 resolution-failure caching: transient failures (upstream
+  /// timeouts, deadline expiries) are served from cache for a bounded,
+  /// backing-off TTL. Off by default for the same golden-stability reason.
+  bool failure_caching = false;
+  /// First-failure TTL; clamped by FailureCache into RFC 9520's
+  /// [1 s, 5 min] window, doubling per consecutive failure.
+  simtime::Duration failure_cache_ttl = simtime::Duration::from_seconds(5);
+
+  /// Turns both caches on with the given knobs (the bench-flag path).
+  void enable_aggressive(std::size_t neg_cache_cap,
+                         simtime::Duration failure_ttl) {
+    aggressive_nsec = true;
+    failure_caching = true;
+    neg_cache_capacity = neg_cache_cap == 0 ? 1 : neg_cache_cap;
+    failure_cache_ttl = failure_ttl;
+  }
+
   // --- software profiles (changelog-documented) ---
   static ResolverProfile bind9_2021();      // insecure > 150
   static ResolverProfile bind9_2023();      // insecure > 50 (CVE patch)
   static ResolverProfile unbound();         // insecure > 150 (not lowered)
+  /// Unbound with `aggressive-nsec: yes` + RFC 9520 failure caching — the
+  /// synth-capable vendor archetype (ISSUE 9's new sweep axis).
+  static ResolverProfile unbound_aggressive();
   static ResolverProfile knot_2021();       // insecure > 150
   static ResolverProfile knot_2023();       // insecure > 50
   static ResolverProfile powerdns_2021();   // insecure > 150

@@ -74,7 +74,24 @@ RecursiveResolver::RecursiveResolver(simnet::Network& network, Config config,
       config_(std::move(config)),
       root_servers_(std::move(root_servers)),
       cache_hit_metric_(
-          network.tracer().metrics().counter("resolver.cache_hit")) {}
+          network.tracer().metrics().counter("resolver.cache_hit")) {
+  // The RFC 8198 / RFC 9520 caches — and their metrics — exist only when
+  // the profile asks for them, so capability-off runs leave the metrics
+  // registry (hence traced output) byte-identical to a build without them.
+  if (config_.profile.aggressive_nsec) {
+    neg_cache_ = std::make_unique<AggressiveNegCache>(
+        config_.profile.neg_cache_capacity);
+    neg_synth_hit_metric_ =
+        network.tracer().metrics().counter("resolver.neg_synth_hit");
+  }
+  if (config_.profile.failure_caching) {
+    FailureCache::Config failure_config;
+    failure_config.base_ttl = config_.profile.failure_cache_ttl;
+    failure_cache_ = std::make_unique<FailureCache>(failure_config);
+    failure_cache_hit_metric_ =
+        network.tracer().metrics().counter("resolver.failure_cache_hit");
+  }
+}
 
 void RecursiveResolver::attach() {
   network_.attach(config_.address,
@@ -93,6 +110,8 @@ std::optional<Message> RecursiveResolver::handle_or_drop(
 void RecursiveResolver::flush_cache() {
   zone_cache_.clear();
   answer_cache_.clear();
+  if (neg_cache_) neg_cache_->clear();
+  if (failure_cache_) failure_cache_->clear();
 }
 
 Message RecursiveResolver::resolve(const Name& qname, RrType qtype,
@@ -146,8 +165,41 @@ Message RecursiveResolver::handle(const Message& query,
     }
   }
   if (!from_cache) {
-    out = config_.forward ? forward_query(q.name, q.type)
-                          : resolve_internal(q.name, q.type, 0);
+    // RFC 8198: before going upstream, try to synthesize the denial from
+    // validated NSEC3 intervals already in the aggressive cache. Only
+    // meaningful when this query would validate (never under CD) and the
+    // resolver iterates itself.
+    std::optional<Outcome> served;
+    if (neg_cache_ && validation_active() && !config_.forward)
+      served = try_synthesize(q.name, q.type);
+    // RFC 9520: a still-fresh cached resolution failure answers without
+    // re-running the failing resolution. Keyed without the CD marker —
+    // transport failures do not depend on validation.
+    std::string failure_key;
+    if (failure_cache_)
+      failure_key = q.name.canonical().to_string() + "|" +
+                    std::to_string(static_cast<std::uint16_t>(q.type));
+    if (!served && failure_cache_) {
+      if (const auto hit =
+              failure_cache_->lookup(failure_key, network_.clock().now())) {
+        Outcome cached = make_servfail(hit->ede, hit->ede_text);
+        cached.transient = true;  // stays out of the answer cache
+        served = std::move(cached);
+        ++stats_.failure_cache_hits;
+        ++*failure_cache_hit_metric_;
+      }
+    }
+    if (served) {
+      out = std::move(*served);
+    } else {
+      out = config_.forward ? forward_query(q.name, q.type)
+                            : resolve_internal(q.name, q.type, 0);
+      if (failure_cache_ && out.transient) {
+        failure_cache_->record(failure_key, network_.clock().now(), out.ede,
+                               out.ede_text);
+        ++stats_.failure_cache_inserts;
+      }
+    }
     // Transient (transport-caused) failures stay out of the cache: caching
     // them would turn one lost packet into a permanently broken name.
     if (config_.enable_cache && !out.transient) {
@@ -1010,11 +1062,65 @@ RecursiveResolver::Outcome RecursiveResolver::validate_negative(
     return make_servfail(dns::EdeCode::kDnssecBogus,
                          "RCODE contradicts NSEC3 proof");
 
+  // The denial is fully validated (signatures + closest-encloser proof):
+  // exactly the evidence RFC 8198 lets the aggressive cache reuse.
+  if (neg_cache_) cache_nsec3_intervals(response, ctx);
+
   Outcome out;
   out.rcode = response.header.rcode;
   out.authorities = response.authorities;
   out.security = Security::kSecure;
   return out;
+}
+
+std::optional<RecursiveResolver::Outcome> RecursiveResolver::try_synthesize(
+    const Name& qname, RrType qtype) {
+  AggressiveNegCache::Synthesis synth = neg_cache_->lookup(qname, qtype);
+  if (synth.opt_out_refusal) ++stats_.neg_synth_optout_refusals;
+  if (!synth.found) return std::nullopt;
+  ++stats_.neg_synth_hits;
+  ++*neg_synth_hit_metric_;
+  Outcome out;
+  out.rcode = synth.rcode;
+  out.security = Security::kSecure;
+  out.authorities = std::move(synth.authorities);
+  return out;
+}
+
+void RecursiveResolver::cache_nsec3_intervals(const Message& response,
+                                              const ZoneContext& ctx) {
+  Nsec3CacheParams params;
+  std::vector<NegCacheInterval> intervals;
+  for (const auto& rr : response.authorities) {
+    if (rr.type != RrType::kNsec3) continue;
+    const auto rdata = rr.as<dns::Nsec3Rdata>();
+    const auto hash = dns::nsec3_owner_hash(rr.name, ctx.apex);
+    if (!rdata || !hash) continue;  // validation already vouched; belt+braces
+    if (intervals.empty()) {
+      params.hash_algorithm = rdata->hash_algorithm;
+      params.iterations = rdata->iterations;
+      params.salt = rdata->salt;
+    }
+    NegCacheInterval interval;
+    interval.owner_hash = *hash;
+    interval.next_hash = rdata->next_hash;
+    interval.opt_out = rdata->opt_out();
+    interval.types = rdata->types;
+    interval.record = rr;
+    for (const auto& sig_rr : response.authorities) {
+      if (sig_rr.type != RrType::kRrsig || !sig_rr.name.equals(rr.name))
+        continue;
+      const auto sig = sig_rr.as<dns::RrsigRdata>();
+      if (sig && sig->covered() == RrType::kNsec3)
+        interval.rrsigs.push_back(sig_rr);
+    }
+    intervals.push_back(std::move(interval));
+  }
+  if (intervals.empty()) return;
+  if (neg_cache_->insert(ctx.apex, params, intervals))
+    ++stats_.neg_cache_inserts;
+  else
+    ++stats_.neg_cache_rejects;
 }
 
 }  // namespace zh::resolver

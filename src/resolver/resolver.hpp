@@ -20,6 +20,7 @@
 
 #include "dns/dnssec.hpp"
 #include "dns/message.hpp"
+#include "resolver/negcache.hpp"
 #include "resolver/policy.hpp"
 #include "simnet/network.hpp"
 #include "trace/trace.hpp"
@@ -54,6 +55,15 @@ struct ResolverStats {
   /// CVE-2023-50868 cost signal.
   std::uint64_t last_query_sha1_blocks = 0;
   std::uint64_t last_query_nsec3_hashes = 0;
+  /// RFC 8198 aggressive-cache activity (zero unless the profile enables
+  /// aggressive_nsec).
+  std::uint64_t neg_synth_hits = 0;             // answers synthesized
+  std::uint64_t neg_synth_optout_refusals = 0;  // cover was Opt-Out (§5.2)
+  std::uint64_t neg_cache_inserts = 0;          // interval batches accepted
+  std::uint64_t neg_cache_rejects = 0;          // malformed batches refused
+  /// RFC 9520 failure-cache activity (zero unless failure_caching is on).
+  std::uint64_t failure_cache_hits = 0;
+  std::uint64_t failure_cache_inserts = 0;
 };
 
 class RecursiveResolver {
@@ -220,11 +230,28 @@ class RecursiveResolver {
   // Handle into the network tracer's metrics registry (registered once at
   // construction; incrementing through it keeps the cache-hit path cheap).
   trace::Metrics::Counter cache_hit_metric_;
+  // Registered only when the respective capability is on, so synth-off runs
+  // leave the metrics registry (and traced output) untouched.
+  trace::Metrics::Counter neg_synth_hit_metric_ = nullptr;
+  trace::Metrics::Counter failure_cache_hit_metric_ = nullptr;
+
+  /// Tries RFC 8198 synthesis for (qname, qtype); nullopt on a cache miss.
+  std::optional<Outcome> try_synthesize(const dns::Name& qname,
+                                        dns::RrType qtype);
+
+  /// Feeds a fully validated NSEC3 denial into the aggressive cache.
+  void cache_nsec3_intervals(const dns::Message& response,
+                             const ZoneContext& ctx);
 
   // Infrastructure cache: apex → validated zone context.
   std::unordered_map<dns::Name, ZoneContext, dns::NameHash> zone_cache_;
   // Answer cache: "<qname>|<type>" → outcome.
   std::unordered_map<std::string, Outcome> answer_cache_;
+  // RFC 8198 / RFC 9520 caches — allocated only when the profile turns the
+  // capability on (nullptr otherwise, so the synth-off fast path costs one
+  // branch).
+  std::unique_ptr<AggressiveNegCache> neg_cache_;
+  std::unique_ptr<FailureCache> failure_cache_;
 };
 
 }  // namespace zh::resolver

@@ -82,6 +82,13 @@ void DomainCampaign::warm_tld_caches() {
 void DomainCampaign::run_shard(std::size_t shard, std::size_t shards,
                                std::size_t limit, std::size_t stride) {
   warm_tld_caches();
+  // Snapshot the RFC 8198/9520 metrics *after* warming: the warm queries
+  // are duplicated per shard, so only scan-attributable hits — which are
+  // item-local and therefore shard-sum-invariant — enter the stats.
+  trace::Metrics& metrics = internet_.network().tracer().metrics();
+  const std::uint64_t synth_before = metrics.value("resolver.neg_synth_hit");
+  const std::uint64_t failure_before =
+      metrics.value("resolver.failure_cache_hit");
   const std::size_t count = std::min(limit, spec_.domain_count());
   for (std::size_t position = shard;; position += shards) {
     const std::size_t index = position * stride;
@@ -100,12 +107,20 @@ void DomainCampaign::run_shard(std::size_t shard, std::size_t shards,
                     trace::stage_delta(internet_.network().tracer().stages(),
                                        stages_before));
   }
+  stats_.neg_synth_hits +=
+      metrics.value("resolver.neg_synth_hit") - synth_before;
+  stats_.failure_cache_hits +=
+      metrics.value("resolver.failure_cache_hit") - failure_before;
 }
 
 void DomainCampaign::run_shard_async(std::size_t shard, std::size_t shards,
                                      std::size_t limit, std::size_t stride,
                                      std::size_t max_inflight) {
   warm_tld_caches();
+  trace::Metrics& metrics = internet_.network().tracer().metrics();
+  const std::uint64_t synth_before = metrics.value("resolver.neg_synth_hit");
+  const std::uint64_t failure_before =
+      metrics.value("resolver.failure_cache_hit");
   const std::size_t count = std::min(limit, spec_.domain_count());
   std::vector<std::size_t> indexes;
   for (std::size_t position = shard;; position += shards) {
@@ -153,6 +168,10 @@ void DomainCampaign::run_shard_async(std::size_t shard, std::size_t shards,
                     scan.totals.queue_wait_ns, scan.totals.queue_drops,
                     scan.totals.stages);
   }
+  stats_.neg_synth_hits +=
+      metrics.value("resolver.neg_synth_hit") - synth_before;
+  stats_.failure_cache_hits +=
+      metrics.value("resolver.failure_cache_hit") - failure_before;
 }
 
 void DomainCampaign::accumulate_scan(std::size_t index,
@@ -233,6 +252,8 @@ void DomainCampaignStats::merge(const DomainCampaignStats& other) {
   stage_recurse_us.merge(other.stage_recurse_us);
   stage_validate_us.merge(other.stage_validate_us);
   stage_queue_wait_us.merge(other.stage_queue_wait_us);
+  neg_synth_hits += other.neg_synth_hits;
+  failure_cache_hits += other.failure_cache_hits;
 }
 
 void DomainCampaignStats::add_stages(const trace::StageTotals& delta_ns) {
@@ -346,6 +367,8 @@ void ResolverSweepStats::merge(const ResolverSweepStats& other) {
   stage_recurse_us.merge(other.stage_recurse_us);
   stage_validate_us.merge(other.stage_validate_us);
   stage_queue_wait_us.merge(other.stage_queue_wait_us);
+  neg_synth_hits += other.neg_synth_hits;
+  failure_cache_hits += other.failure_cache_hits;
 }
 
 void ResolverSweepStats::add_stages(const trace::StageTotals& delta_ns) {

@@ -72,6 +72,13 @@ struct DomainCampaignStats {
   analysis::Ecdf stage_validate_us;
   analysis::Ecdf stage_queue_wait_us;
 
+  /// RFC 8198 / RFC 9520 activity of the scan resolver during this shard
+  /// (per-shard metric deltas, so sums over shards equal the serial run —
+  /// jobs/procs/engine-invariant). Zero unless the scan resolver's profile
+  /// enables the respective cache.
+  std::uint64_t neg_synth_hits = 0;
+  std::uint64_t failure_cache_hits = 0;
+
   /// Folds another shard's aggregates in. Commutative and associative, so
   /// per-shard stats merged in any order equal the unsharded campaign.
   void merge(const DomainCampaignStats& other);
@@ -219,6 +226,12 @@ struct ResolverSweepStats {
   analysis::Ecdf stage_recurse_us;
   analysis::Ecdf stage_validate_us;
   analysis::Ecdf stage_queue_wait_us;
+
+  /// RFC 8198 / RFC 9520 activity across the shard's probed panel members
+  /// (per-shard metric deltas — see DomainCampaignStats). Nonzero only when
+  /// the panel carries a synth-capable profile.
+  std::uint64_t neg_synth_hits = 0;
+  std::uint64_t failure_cache_hits = 0;
 
   void add(const ResolverProbeResult& result);
 

@@ -89,17 +89,18 @@ unsigned default_jobs() {
 }
 
 ShardWorldFactory default_world_factory(const workload::EcosystemSpec& spec,
-                                        bool with_domains) {
+                                        bool with_domains,
+                                        resolver::ResolverProfile scan_profile) {
   const workload::EcosystemSpec* shared = &spec;
-  return [shared, with_domains](unsigned, unsigned) {
+  return [shared, with_domains,
+          scan_profile = std::move(scan_profile)](unsigned, unsigned) {
     ShardWorld world;
     world.internet = std::make_unique<testbed::Internet>();
     world.probe_zones = testbed::add_probe_infrastructure(*world.internet);
     if (with_domains) workload::install_ecosystem(*world.internet, *shared);
     world.internet->build();
     world.scan_resolver = world.internet->make_resolver(
-        resolver::ResolverProfile::cloudflare(),
-        simnet::IpAddress::v4(1, 1, 1, 1));
+        scan_profile, simnet::IpAddress::v4(1, 1, 1, 1));
     return world;
   };
 }
@@ -219,6 +220,14 @@ ParallelSweepResult run_resolver_sweep_parallel(
     for (std::size_t j = global_shard; j < population.members.size();
          j += global_jobs)
       members.push_back(j);
+    // RFC 8198/9520 hits across this shard's members: probe tokens are
+    // member-keyed, so per-member deltas are sharding-invariant and the
+    // shard sums reproduce the serial sweep exactly.
+    trace::Metrics& sweep_metrics = world.internet->network().tracer().metrics();
+    const std::uint64_t synth_before =
+        sweep_metrics.value("resolver.neg_synth_hit");
+    const std::uint64_t failure_before =
+        sweep_metrics.value("resolver.failure_cache_hit");
     if (options.engine == Engine::kAsync) {
       AsyncOptions async_options;
       async_options.max_inflight = options.max_inflight;
@@ -270,6 +279,10 @@ ParallelSweepResult run_resolver_sweep_parallel(
       }
       out.queries = prober.queries_issued();
     }
+    out.stats.neg_synth_hits +=
+        sweep_metrics.value("resolver.neg_synth_hit") - synth_before;
+    out.stats.failure_cache_hits +=
+        sweep_metrics.value("resolver.failure_cache_hit") - failure_before;
     out.trace = world.internet->network().tracer().take();
     out.cost = read_worker_cost();
   });

@@ -66,11 +66,15 @@ using ShardWorldFactory = std::function<ShardWorld(unsigned shard,
                                                    unsigned jobs)>;
 
 /// The standard factory: probe infrastructure + (optionally) the synthetic
-/// domain ecosystem + a Cloudflare-profile scan resolver at 1.1.1.1 — the
-/// same world bench_common.hpp builds. The spec is shared read-only across
-/// workers and must outlive the campaign.
-ShardWorldFactory default_world_factory(const workload::EcosystemSpec& spec,
-                                        bool with_domains = true);
+/// domain ecosystem + a scan resolver at 1.1.1.1 — the same world
+/// bench_common.hpp builds. The spec is shared read-only across workers and
+/// must outlive the campaign. `scan_profile` overrides the scan resolver's
+/// profile (default: the historical Cloudflare profile); the bench flags
+/// use it to hand every worker an aggressive-cache-enabled resolver.
+ShardWorldFactory default_world_factory(
+    const workload::EcosystemSpec& spec, bool with_domains = true,
+    resolver::ResolverProfile scan_profile =
+        resolver::ResolverProfile::cloudflare());
 
 /// Which scan engine drives each worker's shard.
 enum class Engine {

@@ -195,6 +195,8 @@ void encode(Encoder& enc, const DomainCampaignStats& stats) {
   encode(enc, stats.stage_recurse_us);
   encode(enc, stats.stage_validate_us);
   encode(enc, stats.stage_queue_wait_us);
+  enc.u64(stats.neg_synth_hits);
+  enc.u64(stats.failure_cache_hits);
 }
 
 bool decode(Decoder& dec, DomainCampaignStats& out) {
@@ -231,7 +233,8 @@ bool decode(Decoder& dec, DomainCampaignStats& out) {
   return decode(dec, out.stage_resolve_us) &&
          decode(dec, out.stage_recurse_us) &&
          decode(dec, out.stage_validate_us) &&
-         decode(dec, out.stage_queue_wait_us);
+         decode(dec, out.stage_queue_wait_us) &&
+         dec.u64(out.neg_synth_hits) && dec.u64(out.failure_cache_hits);
 }
 
 void encode(Encoder& enc, const ResolverSweepStats& stats) {
@@ -262,6 +265,8 @@ void encode(Encoder& enc, const ResolverSweepStats& stats) {
   encode(enc, stats.stage_recurse_us);
   encode(enc, stats.stage_validate_us);
   encode(enc, stats.stage_queue_wait_us);
+  enc.u64(stats.neg_synth_hits);
+  enc.u64(stats.failure_cache_hits);
 }
 
 bool decode(Decoder& dec, ResolverSweepStats& out) {
@@ -298,7 +303,8 @@ bool decode(Decoder& dec, ResolverSweepStats& out) {
   return decode(dec, out.stage_resolve_us) &&
          decode(dec, out.stage_recurse_us) &&
          decode(dec, out.stage_validate_us) &&
-         decode(dec, out.stage_queue_wait_us);
+         decode(dec, out.stage_queue_wait_us) &&
+         dec.u64(out.neg_synth_hits) && dec.u64(out.failure_cache_hits);
 }
 
 std::vector<std::uint8_t> encode_artefact(const DomainShardArtefact& artefact) {

@@ -34,7 +34,8 @@
 namespace zh::scanner {
 
 /// Bumped whenever the byte layout changes; decoders reject other values.
-inline constexpr std::uint16_t kShardFormatVersion = 1;
+/// v2: RFC 8198/9520 counters appended to both campaign stats payloads.
+inline constexpr std::uint16_t kShardFormatVersion = 2;
 
 enum class ArtefactKind : std::uint8_t {
   kDomainCampaign = 1,

@@ -300,5 +300,89 @@ TEST(BenchFlags, ChainMemoParsesAndForwardsToWorkers) {
   zone::Nsec3ChainMemo::set_default_capacity(previous);
 }
 
+TEST(BenchFlags, AggressiveNsecParsesAndForwardsToWorkers) {
+  Argv argv({"bench", "--aggressive-nsec", "on", "--neg-cache-cap", "512",
+             "--failure-cache-ttl", "2000"});
+  const BenchFlags flags = parse_flags(argv.argc(), argv.argv());
+  ASSERT_TRUE(flags.aggressive_nsec.has_value());
+  EXPECT_TRUE(flags.aggressive());
+  EXPECT_EQ(flags.neg_cache_cap, 512u);
+  EXPECT_EQ(flags.failure_cache_ttl_ms, 2000);
+  // Worker processes must run the same cache configuration.
+  EXPECT_EQ(flags.worker_args,
+            (std::vector<std::string>{"--aggressive-nsec", "on",
+                                      "--neg-cache-cap", "512",
+                                      "--failure-cache-ttl", "2000"}));
+
+  // The profile hook installs the capability only when the flag is on.
+  resolver::ResolverProfile on = resolver::ResolverProfile::cloudflare();
+  flags.apply_aggressive(on);
+  EXPECT_TRUE(on.aggressive_nsec);
+  EXPECT_TRUE(on.failure_caching);
+  EXPECT_EQ(on.neg_cache_capacity, 512u);
+  EXPECT_EQ(on.failure_cache_ttl.millis(), 2000);
+
+  // "off" (and the default) leave the profile byte-identical — the
+  // synth-off golden contract.
+  Argv argv2({"bench", "--aggressive-nsec=off"});
+  const BenchFlags off = parse_flags(argv2.argc(), argv2.argv());
+  ASSERT_TRUE(off.aggressive_nsec.has_value());
+  EXPECT_FALSE(off.aggressive());
+  resolver::ResolverProfile untouched =
+      resolver::ResolverProfile::cloudflare();
+  off.apply_aggressive(untouched);
+  EXPECT_FALSE(untouched.aggressive_nsec);
+  EXPECT_FALSE(untouched.failure_caching);
+
+  Argv argv3({"bench"});
+  EXPECT_FALSE(parse_flags(argv3.argc(), argv3.argv()).aggressive());
+}
+
+TEST(BenchFlags, AggressiveNsecRejectsGarbage) {
+  // Unknown mode: the flag stays unset (off), defaults preserved.
+  Argv argv({"bench", "--aggressive-nsec", "maybe", "--neg-cache-cap",
+             "banana", "--failure-cache-ttl", "-5"});
+  const BenchFlags flags = parse_flags(argv.argc(), argv.argv());
+  EXPECT_FALSE(flags.aggressive_nsec.has_value());
+  EXPECT_EQ(flags.neg_cache_cap, 4096u);
+  EXPECT_EQ(flags.failure_cache_ttl_ms, 5000);
+
+  // Zero capacity and zero TTL are rejected too (a zero-interval cache or
+  // zero-length failure TTL is never what the caller meant).
+  Argv argv2({"bench", "--neg-cache-cap=0", "--failure-cache-ttl=0"});
+  const BenchFlags zeros = parse_flags(argv2.argc(), argv2.argv());
+  EXPECT_EQ(zeros.neg_cache_cap, 4096u);
+  EXPECT_EQ(zeros.failure_cache_ttl_ms, 5000);
+}
+
+TEST(BenchEnv, AggressiveNsecComesFromEnvironmentAndFlagsWin) {
+  EnvVar aggressive("ZH_AGGRESSIVE_NSEC", "on");
+  EnvVar cap("ZH_NEG_CACHE_CAP", "64");
+  EnvVar ttl("ZH_FAILURE_CACHE_TTL", "1500");
+  {
+    Argv argv({"bench"});
+    const BenchFlags flags = parse_flags(argv.argc(), argv.argv());
+    EXPECT_TRUE(flags.aggressive());
+    EXPECT_EQ(flags.neg_cache_cap, 64u);
+    EXPECT_EQ(flags.failure_cache_ttl_ms, 1500);
+  }
+  {
+    // The command line overrides the environment, knob by knob.
+    Argv argv({"bench", "--aggressive-nsec", "off", "--neg-cache-cap=128"});
+    const BenchFlags flags = parse_flags(argv.argc(), argv.argv());
+    EXPECT_FALSE(flags.aggressive());
+    EXPECT_EQ(flags.neg_cache_cap, 128u);
+    EXPECT_EQ(flags.failure_cache_ttl_ms, 1500);  // env still supplies this
+  }
+}
+
+TEST(BenchEnv, AggressiveNsecGarbageEnvironmentStaysOff) {
+  EnvVar aggressive("ZH_AGGRESSIVE_NSEC", "sometimes");
+  Argv argv({"bench"});
+  const BenchFlags flags = parse_flags(argv.argc(), argv.argv());
+  EXPECT_FALSE(flags.aggressive_nsec.has_value());
+  EXPECT_FALSE(flags.aggressive());
+}
+
 }  // namespace
 }  // namespace zh::bench

@@ -77,10 +77,15 @@ std::vector<GoldenProfile> golden_table() {
   constexpr auto kEde27 = EdeCode::kUnsupportedNsec3Iterations;
   std::vector<GoldenProfile> table;
 
-  // 2021-era software: insecure above 150, no EDE (Item 6 only).
+  // 2021-era software: insecure above 150, no EDE (Item 6 only). The
+  // aggressive-cache variant (ISSUE 9) must probe identically to stock
+  // unbound: the prober's unique names touch each probe zone once, so
+  // RFC 8198 synthesis never fires on this surface and the Fig.3 rows are
+  // unchanged by the capability.
   for (auto [label, profile] :
        {std::pair{"bind9_2021", ResolverProfile::bind9_2021()},
         std::pair{"unbound", ResolverProfile::unbound()},
+        std::pair{"unbound_aggressive", ResolverProfile::unbound_aggressive()},
         std::pair{"knot_2021", ResolverProfile::knot_2021()},
         std::pair{"powerdns_2021", ResolverProfile::powerdns_2021()},
         std::pair{"quad9", ResolverProfile::quad9()}}) {
@@ -217,6 +222,19 @@ TEST_F(ResolverConformanceTest, EveryVendorProfileMatchesGoldenTable) {
     EXPECT_EQ(result.item12_gap, golden.item12_gap);
     EXPECT_EQ(result.limit_ede, golden.limit_ede);
   }
+}
+
+TEST(ResolverProfiles, UnboundAggressiveCarriesTheCacheCapabilities) {
+  const ResolverProfile profile = ResolverProfile::unbound_aggressive();
+  EXPECT_TRUE(profile.aggressive_nsec);
+  EXPECT_TRUE(profile.failure_caching);
+  EXPECT_EQ(profile.policy.insecure_limit,
+            ResolverProfile::unbound().policy.insecure_limit);
+  // The stock profiles stay capability-off: synth-off campaign goldens
+  // depend on it.
+  EXPECT_FALSE(ResolverProfile::unbound().aggressive_nsec);
+  EXPECT_FALSE(ResolverProfile::cloudflare().aggressive_nsec);
+  EXPECT_FALSE(ResolverProfile::cloudflare().failure_caching);
 }
 
 TEST_F(ResolverConformanceTest, TechnitiumAttachesExtraText) {
