@@ -1,0 +1,140 @@
+// Counting operator new/delete hook for allocation-gated benches.
+//
+// A bench that wants allocations-per-op numbers defines
+// ZH_BENCH_COUNT_ALLOCS *before* including this header, in exactly one
+// translation unit of the binary (the benches are single-TU, so "at the top
+// of the .cpp" is that). The replaceable global allocation functions are
+// then routed through malloc with relaxed atomic counters; alloc_stats()
+// snapshots them. Without the macro this header declares the API only and
+// the binary keeps the toolchain's allocator untouched — never define the
+// macro in more than one TU of a binary (duplicate operator new definitions
+// are an ODR violation).
+//
+// The counters are process-wide on purpose: a steady-state "0 allocs/query"
+// claim must see every allocation, including ones smuggled in by libraries.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace zh::bench {
+
+/// Snapshot of the process-wide allocation counters. Deltas between two
+/// snapshots bound the allocation work in between.
+struct AllocStats {
+  std::uint64_t allocations = 0;  // operator new calls (all variants)
+  std::uint64_t frees = 0;        // operator delete calls (all variants)
+  std::uint64_t bytes = 0;        // total bytes requested from new
+};
+
+#ifdef ZH_BENCH_COUNT_ALLOCS
+
+namespace alloc_detail {
+inline std::atomic<std::uint64_t> allocations{0};
+inline std::atomic<std::uint64_t> frees{0};
+inline std::atomic<std::uint64_t> bytes{0};
+}  // namespace alloc_detail
+
+inline AllocStats alloc_stats() noexcept {
+  AllocStats stats;
+  stats.allocations =
+      alloc_detail::allocations.load(std::memory_order_relaxed);
+  stats.frees = alloc_detail::frees.load(std::memory_order_relaxed);
+  stats.bytes = alloc_detail::bytes.load(std::memory_order_relaxed);
+  return stats;
+}
+
+#else
+
+/// Declared so shared helpers can link against a counting TU; benches that
+/// never define the macro must not call this.
+AllocStats alloc_stats() noexcept;
+
+#endif  // ZH_BENCH_COUNT_ALLOCS
+
+}  // namespace zh::bench
+
+#ifdef ZH_BENCH_COUNT_ALLOCS
+
+#include <cstdlib>
+#include <new>
+
+namespace zh::bench::alloc_detail {
+
+inline void* counted_alloc(std::size_t size, std::size_t align) {
+  allocations.fetch_add(1, std::memory_order_relaxed);
+  bytes.fetch_add(size, std::memory_order_relaxed);
+  if (align <= alignof(std::max_align_t)) return std::malloc(size ? size : 1);
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const std::size_t rounded = (size + align - 1) / align * align;
+  return std::aligned_alloc(align, rounded ? rounded : align);
+}
+
+inline void counted_free(void* p) noexcept {
+  if (p == nullptr) return;
+  frees.fetch_add(1, std::memory_order_relaxed);
+  std::free(p);
+}
+
+}  // namespace zh::bench::alloc_detail
+
+void* operator new(std::size_t size) {
+  void* p = zh::bench::alloc_detail::counted_alloc(size, 0);
+  if (!p) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size) {
+  void* p = zh::bench::alloc_detail::counted_alloc(size, 0);
+  if (!p) throw std::bad_alloc();
+  return p;
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = zh::bench::alloc_detail::counted_alloc(
+      size, static_cast<std::size_t>(align));
+  if (!p) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = zh::bench::alloc_detail::counted_alloc(
+      size, static_cast<std::size_t>(align));
+  if (!p) throw std::bad_alloc();
+  return p;
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return zh::bench::alloc_detail::counted_alloc(size, 0);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return zh::bench::alloc_detail::counted_alloc(size, 0);
+}
+
+void operator delete(void* p) noexcept { zh::bench::alloc_detail::counted_free(p); }
+void operator delete[](void* p) noexcept {
+  zh::bench::alloc_detail::counted_free(p);
+}
+void operator delete(void* p, std::size_t) noexcept {
+  zh::bench::alloc_detail::counted_free(p);
+}
+void operator delete[](void* p, std::size_t) noexcept {
+  zh::bench::alloc_detail::counted_free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept {
+  zh::bench::alloc_detail::counted_free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  zh::bench::alloc_detail::counted_free(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  zh::bench::alloc_detail::counted_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  zh::bench::alloc_detail::counted_free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  zh::bench::alloc_detail::counted_free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  zh::bench::alloc_detail::counted_free(p);
+}
+
+#endif  // ZH_BENCH_COUNT_ALLOCS

@@ -24,6 +24,16 @@
 // 20 ms +/- 5 ms), --loss adds retransmission waits, --retries/--timeout
 // shape the client policy. ZH_LIMIT caps the domains scanned per cell
 // (default 2000); ZH_SCALE must supply at least that many.
+//
+// Each cell also reports allocs/query (counting operator-new hook,
+// bench_alloc.hpp): heap allocations during the measured scan divided by
+// wire queries issued. The arena/view/slot-reuse work (ISSUE 10) drives the
+// *per-exchange* layers to zero steady-state allocations; the whole-stack
+// number reported here includes the resolver/server machinery above them,
+// so it is small and flat, not literally zero.
+#define ZH_BENCH_COUNT_ALLOCS
+#include "bench_alloc.hpp"
+
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -39,8 +49,15 @@ struct Cell {
   std::size_t max_inflight;
   std::uint64_t domains = 0;
   std::uint64_t queries = 0;
+  std::uint64_t allocations = 0;  // operator-new calls in the measured scan
   double virtual_seconds = 0.0;
   double wall_seconds = 0.0;
+
+  double allocs_per_query() const {
+    return queries > 0
+               ? static_cast<double>(allocations) / static_cast<double>(queries)
+               : 0.0;
+  }
 
   double per_virtual(std::uint64_t n) const {
     return virtual_seconds > 0.0 ? static_cast<double>(n) / virtual_seconds
@@ -76,8 +93,9 @@ int main(int argc, char** argv) {
               "attempts\n",
               limit, flags.latency_ms, flags.jitter_ms, 100.0 * flags.loss,
               flags.retry.attempts);
-  std::printf("%9s %12s %9s %10s %13s %13s %12s\n", "engine", "max-inflight",
-              "domains", "virt (s)", "dom/virt-s", "q/virt-s", "dom/wall-s");
+  std::printf("%9s %12s %9s %10s %13s %13s %12s %9s\n", "engine",
+              "max-inflight", "domains", "virt (s)", "dom/virt-s", "q/virt-s",
+              "dom/wall-s", "allocs/q");
 
   for (Cell& cell : cells) {
     // A fresh world per cell: every engine/window starts from the same
@@ -101,11 +119,14 @@ int main(int argc, char** argv) {
     campaign.run_shard(0, 1, /*limit=*/0);
     const simtime::Duration virtual_start = network.clock().now();
     const auto wall_start = std::chrono::steady_clock::now();
+    const zh::bench::AllocStats allocs_before = zh::bench::alloc_stats();
     if (cell.max_inflight == 1 && cell.engine[0] == 'b') {
       campaign.run_shard(0, 1, limit);
     } else {
       campaign.run_shard_async(0, 1, limit, /*stride=*/1, cell.max_inflight);
     }
+    cell.allocations =
+        zh::bench::alloc_stats().allocations - allocs_before.allocations;
     cell.wall_seconds = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - wall_start)
                             .count();
@@ -119,11 +140,12 @@ int main(int argc, char** argv) {
     cell.domains = campaign.stats().scanned;
     cell.queries = campaign.queries_issued();
 
-    std::printf("%9s %12zu %9llu %10.2f %13.1f %13.1f %12.1f\n", cell.engine,
-                cell.max_inflight,
+    std::printf("%9s %12zu %9llu %10.2f %13.1f %13.1f %12.1f %9.1f\n",
+                cell.engine, cell.max_inflight,
                 static_cast<unsigned long long>(cell.domains),
                 cell.virtual_seconds, cell.per_virtual(cell.domains),
-                cell.per_virtual(cell.queries), cell.per_wall(cell.domains));
+                cell.per_virtual(cell.queries), cell.per_wall(cell.domains),
+                cell.allocs_per_query());
   }
 
   const Cell& blocking = cells.front();
@@ -163,13 +185,17 @@ int main(int argc, char** argv) {
         "\"domains_per_virtual_sec\": %.3f, "
         "\"queries_per_virtual_sec\": %.3f, "
         "\"domains_per_wall_sec\": %.3f, "
-        "\"queries_per_wall_sec\": %.3f}%s\n",
+        "\"queries_per_wall_sec\": %.3f, "
+        "\"allocations\": %llu, "
+        "\"allocs_per_query\": %.3f}%s\n",
         cell.engine, cell.max_inflight,
         static_cast<unsigned long long>(cell.domains),
         static_cast<unsigned long long>(cell.queries), cell.virtual_seconds,
         cell.wall_seconds, cell.per_virtual(cell.domains),
         cell.per_virtual(cell.queries), cell.per_wall(cell.domains),
-        cell.per_wall(cell.queries), i + 1 < cells.size() ? "," : "");
+        cell.per_wall(cell.queries),
+        static_cast<unsigned long long>(cell.allocations),
+        cell.allocs_per_query(), i + 1 < cells.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);

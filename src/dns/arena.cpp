@@ -1,0 +1,60 @@
+#include "dns/arena.hpp"
+
+namespace zh::dns {
+
+void* MonotonicArena::allocate(std::size_t bytes, std::size_t align) {
+  if (bytes == 0) bytes = 1;
+  for (;;) {
+    if (current_ < slabs_.size()) {
+      Slab& slab = slabs_[current_];
+      const std::size_t aligned = (cursor_ + (align - 1)) & ~(align - 1);
+      if (aligned + bytes <= slab.size) {
+        cursor_ = aligned + bytes;
+        // Used is the cursor high-point across slabs (padding included), so
+        // the post-reset coalesced slab is always big enough.
+        stats_.used = cursor_;
+        for (std::size_t i = 0; i < current_; ++i)
+          stats_.used += slabs_[i].size;
+        if (stats_.used > stats_.high_water) stats_.high_water = stats_.used;
+        return slab.data.get() + aligned;
+      }
+      // Current slab exhausted: move to the next (or grow).
+      if (current_ + 1 < slabs_.size()) {
+        ++current_;
+        cursor_ = 0;
+        continue;
+      }
+    }
+    add_slab(bytes + align);
+  }
+}
+
+void MonotonicArena::add_slab(std::size_t at_least) {
+  std::size_t size = next_slab_bytes_;
+  while (size < at_least) size *= 2;
+  Slab slab;
+  slab.data = std::make_unique<std::byte[]>(size);
+  slab.size = size;
+  slabs_.push_back(std::move(slab));
+  ++stats_.slab_allocations;
+  stats_.capacity += size;
+  next_slab_bytes_ = size * 2;
+  current_ = slabs_.size() - 1;
+  cursor_ = 0;
+}
+
+void MonotonicArena::reset() noexcept {
+  ++stats_.resets;
+  if (slabs_.size() > 1) {
+    // The cycle spilled: release everything and let the next allocation
+    // grab one slab covering the whole high-water mark. next_slab_bytes_
+    // already doubled past the combined size when the spill happened.
+    stats_.capacity = 0;
+    slabs_.clear();
+  }
+  current_ = 0;
+  cursor_ = 0;
+  stats_.used = 0;
+}
+
+}  // namespace zh::dns

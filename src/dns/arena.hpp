@@ -1,0 +1,82 @@
+// Monotonic bump arena for per-query scratch.
+//
+// The zero-copy wire layer (dns/wire_view.hpp) parses a message in place
+// over the received buffer, but still needs somewhere to put the per-section
+// view arrays — whose sizes are only known per message. A general-purpose
+// heap allocation per section would put the allocator right back on the hot
+// path; this arena instead bump-allocates from reusable slabs and is reset
+// once per query, so steady-state parsing performs zero heap allocations:
+// after warm-up the arena owns one slab big enough for the largest message
+// seen, and reset() merely rewinds a cursor.
+//
+// Only trivially-destructible types may live in the arena (reset() never
+// runs destructors); make_array() enforces this at compile time.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace zh::dns {
+
+class MonotonicArena {
+ public:
+  /// First-slab size; later slabs grow geometrically, and reset() coalesces
+  /// them so steady state is a single slab and zero heap traffic.
+  static constexpr std::size_t kDefaultSlabBytes = 4096;
+
+  explicit MonotonicArena(std::size_t initial_bytes = kDefaultSlabBytes)
+      : next_slab_bytes_(initial_bytes < 64 ? 64 : initial_bytes) {}
+
+  MonotonicArena(const MonotonicArena&) = delete;
+  MonotonicArena& operator=(const MonotonicArena&) = delete;
+
+  /// Raw bump allocation. `align` must be a power of two.
+  void* allocate(std::size_t bytes, std::size_t align);
+
+  /// Arena-backed array of `count` default-initialised Ts. Returns an empty
+  /// span for count == 0 without touching the arena.
+  template <typename T>
+  std::span<T> make_array(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is reclaimed without running destructors");
+    if (count == 0) return {};
+    T* data = static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+    for (std::size_t i = 0; i < count; ++i) new (data + i) T{};
+    return {data, count};
+  }
+
+  /// Rewinds the cursor; slab memory is retained for reuse. If the last
+  /// cycle spilled into more than one slab, the slabs are released and the
+  /// next allocation grabs one combined slab — so any stable workload
+  /// converges on a single slab and allocation-free resets.
+  void reset() noexcept;
+
+  struct Stats {
+    std::uint64_t slab_allocations = 0;  // heap allocations ever made
+    std::uint64_t resets = 0;
+    std::size_t capacity = 0;    // bytes currently held in slabs
+    std::size_t used = 0;        // bytes handed out since the last reset
+    std::size_t high_water = 0;  // max used observed across resets
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Slab {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  void add_slab(std::size_t at_least);
+
+  std::vector<Slab> slabs_;
+  std::size_t current_ = 0;  // slab index the cursor is in
+  std::size_t cursor_ = 0;   // offset within slabs_[current_]
+  std::size_t next_slab_bytes_;
+  Stats stats_;
+};
+
+}  // namespace zh::dns

@@ -42,6 +42,30 @@ class NameCompressor {
     }
   }
 
+  /// Size-only twin of write(): registers the same suffixes at the same
+  /// (virtual) offsets under the same 0x4000 cap, so a message measured
+  /// name-by-name compresses identically to one actually serialised —
+  /// wire_size() == to_wire().size() holds exactly.
+  std::size_t measure(std::size_t at, const Name& name) {
+    std::size_t skip = 0;
+    bool pointer = false;
+    for (; skip < name.label_count(); ++skip) {
+      if (offsets_.find(suffix_key(name, skip)) != offsets_.end()) {
+        pointer = true;
+        break;
+      }
+    }
+    std::size_t size = 0;
+    for (std::size_t i = 0; i < skip; ++i) {
+      if (at + size < 0x4000) {
+        offsets_.emplace(suffix_key(name, i),
+                         static_cast<std::uint16_t>(at + size));
+      }
+      size += 1 + name.label(i).size();
+    }
+    return size + (pointer ? 2 : 1);
+  }
+
  private:
   static std::string suffix_key(const Name& name, std::size_t from_label) {
     std::string key;
@@ -257,6 +281,23 @@ std::vector<std::uint8_t> Message::to_wire() const {
     w.bytes(opts.data());
   }
   return w.take();
+}
+
+std::size_t Message::wire_size() const {
+  NameCompressor compressor;
+  std::size_t size = 12;
+  for (const auto& q : questions) size += compressor.measure(size, q.name) + 4;
+  const auto measure_rr = [&](const ResourceRecord& rr) {
+    size += compressor.measure(size, rr.name) + 10 + rr.rdata.size();
+  };
+  for (const auto& rr : answers) measure_rr(rr);
+  for (const auto& rr : authorities) measure_rr(rr);
+  for (const auto& rr : additionals) measure_rr(rr);
+  if (edns) {
+    size += 11;  // root owner + TYPE/CLASS/TTL/RDLENGTH
+    for (const auto& option : edns->options) size += 4 + option.data.size();
+  }
+  return size;
 }
 
 const char* to_string(WireErrc errc) {

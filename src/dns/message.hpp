@@ -2,7 +2,9 @@
 // Errors (RFC 8914), plus the wire codec with name compression.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <iterator>
 #include <optional>
 #include <span>
 #include <string>
@@ -88,6 +90,70 @@ const char* to_string(WireErrc errc);
 
 struct DecodeResult;  // defined after Message (holds one)
 
+/// Lazily-filtered, non-copying walk over one section's records of a given
+/// type. Replaces the deep-copying answers_of_type/authorities_of_type on
+/// hot paths: empty()/front()/iteration touch only the section in place.
+/// Valid while the owning Message is alive and the section unmodified.
+class TypedRecordRange {
+ public:
+  class iterator {
+   public:
+    using value_type = ResourceRecord;
+    using reference = const ResourceRecord&;
+    using pointer = const ResourceRecord*;
+    using difference_type = std::ptrdiff_t;
+    using iterator_category = std::forward_iterator_tag;
+
+    iterator() = default;
+    iterator(const ResourceRecord* at, const ResourceRecord* end, RrType type)
+        : at_(at), end_(end), type_(type) {
+      skip_mismatches();
+    }
+    reference operator*() const { return *at_; }
+    pointer operator->() const { return at_; }
+    iterator& operator++() {
+      ++at_;
+      skip_mismatches();
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator tmp = *this;
+      ++*this;
+      return tmp;
+    }
+    bool operator==(const iterator& other) const { return at_ == other.at_; }
+
+   private:
+    void skip_mismatches() {
+      while (at_ != end_ && at_->type != type_) ++at_;
+    }
+    const ResourceRecord* at_ = nullptr;
+    const ResourceRecord* end_ = nullptr;
+    RrType type_ = RrType::kA;
+  };
+
+  TypedRecordRange(const std::vector<ResourceRecord>& section, RrType type)
+      : begin_(section.data()),
+        end_(section.data() + section.size()),
+        type_(type) {}
+
+  iterator begin() const { return iterator(begin_, end_, type_); }
+  iterator end() const { return iterator(end_, end_, type_); }
+  bool empty() const { return begin() == end(); }
+  /// First matching record; the range must not be empty.
+  const ResourceRecord& front() const { return *begin(); }
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (auto it = begin(); it != end(); ++it) ++n;
+    return n;
+  }
+
+ private:
+  const ResourceRecord* begin_ = nullptr;
+  const ResourceRecord* end_ = nullptr;
+  RrType type_ = RrType::kA;
+};
+
 /// A full DNS message. The OPT pseudo-record is lifted into `edns` and never
 /// appears in `additionals`.
 struct Message {
@@ -101,6 +167,12 @@ struct Message {
   /// Serialises with RFC 1035 §4.1.4 name compression for owner names and
   /// question names (rdata is stored and written uncompressed).
   std::vector<std::uint8_t> to_wire() const;
+
+  /// Exact encoded size — `wire_size() == to_wire().size()` always — without
+  /// building the buffer. Shares the compressor's suffix registration
+  /// (including the 0x4000 pointer-offset cap) so compression decisions are
+  /// identical. Use for size-only decisions like UDP truncation.
+  std::size_t wire_size() const;
 
   /// Parses a wire message; embedded compressed names inside NS/CNAME/SOA/
   /// MX rdata are normalised to uncompressed form. Returns nullopt on any
@@ -125,10 +197,21 @@ struct Message {
     return questions.empty() ? nullptr : &questions.front();
   }
 
-  /// All answer-section records of the given type.
+  /// All answer-section records of the given type (deep copies; prefer
+  /// answers_with() on hot paths).
   std::vector<ResourceRecord> answers_of_type(RrType type) const;
-  /// All authority-section records of the given type.
+  /// All authority-section records of the given type (deep copies; prefer
+  /// authorities_with() on hot paths).
   std::vector<ResourceRecord> authorities_of_type(RrType type) const;
+
+  /// Non-copying filtered walk over the answer section.
+  TypedRecordRange answers_with(RrType type) const {
+    return TypedRecordRange(answers, type);
+  }
+  /// Non-copying filtered walk over the authority section.
+  TypedRecordRange authorities_with(RrType type) const {
+    return TypedRecordRange(authorities, type);
+  }
 
   /// One-line summary for logs: "NOERROR q=example.com. A ans=2 auth=0 AD".
   std::string summary() const;

@@ -157,6 +157,14 @@ std::vector<std::uint8_t> Name::to_canonical_wire() const {
   return wire;
 }
 
+void Name::append_canonical_to(std::string& out) const {
+  for (const auto& label : labels_) {
+    out.push_back(static_cast<char>(label.size()));
+    for (const char c : label) out.push_back(ascii_lower(c));
+  }
+  out.push_back('\0');
+}
+
 Name Name::canonical() const {
   Name out;
   out.labels_.reserve(labels_.size());
@@ -188,6 +196,19 @@ std::strong_ordering Name::canonical_compare(const Name& a,
   for (std::size_t i = 0; i < n; ++i) {
     const auto order =
         label_compare_ci(a.labels_[na - 1 - i], b.labels_[nb - 1 - i]);
+    if (order != std::strong_ordering::equal) return order;
+  }
+  return na <=> nb;
+}
+
+std::strong_ordering Name::canonical_compare_suffix(
+    const Name& a, const NameSuffix& b) noexcept {
+  const std::size_t na = a.labels_.size();
+  const std::size_t nb = b.label_count();
+  const std::size_t n = std::min(na, nb);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto order =
+        label_compare_ci(a.labels_[na - 1 - i], b.label(nb - 1 - i));
     if (order != std::strong_ordering::equal) return order;
   }
   return na <=> nb;

@@ -14,6 +14,8 @@
 
 namespace zh::dns {
 
+struct NameSuffix;  // defined after Name
+
 /// An absolute domain name, stored as a sequence of labels (root = none).
 ///
 /// Invariants: each label is 1..63 octets; total wire length ≤ 255 octets.
@@ -83,6 +85,10 @@ class Name {
   /// the exact input of the NSEC3 hash.
   std::vector<std::uint8_t> to_canonical_wire() const;
 
+  /// Appends exactly the bytes of to_canonical_wire() to `out` without the
+  /// temporary vector — for key builders on the hot path.
+  void append_canonical_to(std::string& out) const;
+
   /// Lowercased copy.
   Name canonical() const;
 
@@ -93,6 +99,11 @@ class Name {
   /// left; each label compared as lowercased octet strings.
   static std::strong_ordering canonical_compare(const Name& a,
                                                 const Name& b) noexcept;
+
+  /// canonical_compare(a, b.name->ancestor_with_labels(b.labels)) without
+  /// materialising the ancestor.
+  static std::strong_ordering canonical_compare_suffix(
+      const Name& a, const NameSuffix& b) noexcept;
 
   bool operator==(const Name& other) const noexcept { return equals(other); }
 
@@ -108,10 +119,36 @@ struct NameHash {
   std::size_t operator()(const Name& n) const noexcept { return n.hash(); }
 };
 
-/// Functor for ordered containers in canonical zone order.
+/// A right-aligned suffix of an existing Name — the `labels` rightmost
+/// labels of `*name` — for heterogeneous map lookups that would otherwise
+/// materialise one Name per ancestry step (zone closest-encloser walks).
+/// Orders exactly like Name::ancestor_with_labels(labels) would.
+struct NameSuffix {
+  const Name* name = nullptr;
+  std::size_t labels = 0;
+
+  std::size_t label_count() const noexcept {
+    return labels < name->label_count() ? labels : name->label_count();
+  }
+  /// i-th label of the suffix, leftmost first.
+  const std::string& label(std::size_t i) const {
+    return name->label(name->label_count() - label_count() + i);
+  }
+};
+
+/// Functor for ordered containers in canonical zone order. Transparent:
+/// lookups accept NameSuffix without materialising the ancestor Name.
 struct NameCanonicalLess {
+  using is_transparent = void;
+
   bool operator()(const Name& a, const Name& b) const noexcept {
     return Name::canonical_compare(a, b) < 0;
+  }
+  bool operator()(const Name& a, const NameSuffix& b) const noexcept {
+    return Name::canonical_compare_suffix(a, b) < 0;
+  }
+  bool operator()(const NameSuffix& a, const Name& b) const noexcept {
+    return Name::canonical_compare_suffix(b, a) > 0;
   }
 };
 

@@ -1,0 +1,151 @@
+// Zero-copy wire parsing: views over a received DNS message buffer.
+//
+// Message::decode materialises an owned Message — every label becomes a
+// std::string, every record an owned rdata vector. That is the right shape
+// for zones, the signer and anything that outlives the buffer, but the scan
+// hot path mostly *inspects* a response and throws it away; at wire speed
+// the decode allocations dominate. MessageView::parse performs the same
+// strict, typed-error validation as Message::decode (identical WireErrc on
+// every input — pinned by tests/test_wire_view.cpp over the full bit-flip
+// corpus) but leaves all bytes where they are: names are (buffer, offset)
+// views that re-walk compression pointers on demand (validated once at
+// parse time), rdata is a span into the buffer, and the per-section view
+// arrays live in a caller-supplied MonotonicArena reset per query.
+//
+// The owned Message API remains the source of truth for serialization and
+// for anything that must outlive the wire buffer; to_message() materialises
+// a view into exactly the Message that Message::decode would have produced.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "dns/arena.hpp"
+#include "dns/message.hpp"
+#include "dns/name.hpp"
+#include "dns/types.hpp"
+
+namespace zh::dns {
+
+/// A validated, possibly-compressed name inside a message buffer. Walking
+/// is safe without re-validation: the parser only constructs views over
+/// names it has fully checked (bounds, pointer monotonicity, length caps).
+class NameView {
+ public:
+  NameView() = default;
+
+  bool is_root() const noexcept { return label_count_ == 0; }
+  std::size_t label_count() const noexcept { return label_count_; }
+  /// Octets of the *uncompressed* wire form (≥ 1 for the root).
+  std::size_t wire_length() const noexcept { return wire_length_; }
+
+  /// Visits labels leftmost-first as string_views into the buffer.
+  template <typename Fn>
+  void for_each_label(Fn&& fn) const {
+    std::size_t pos = offset_;
+    for (;;) {
+      const std::uint8_t len = wire_[pos];
+      if ((len & 0xc0) == 0xc0) {
+        pos = (static_cast<std::size_t>(len & 0x3f) << 8) | wire_[pos + 1];
+        continue;
+      }
+      if (len == 0) return;
+      fn(std::string_view(reinterpret_cast<const char*>(&wire_[pos + 1]),
+                          len));
+      pos += 1 + len;
+    }
+  }
+
+  /// Case-insensitive equality with an owned name — no materialisation.
+  bool equals(const Name& other) const noexcept;
+
+  /// Materialises the owned Name (allocates).
+  Name to_name() const;
+
+  /// Presentation form with trailing dot (allocates; logs/tests only).
+  std::string to_string() const;
+
+ private:
+  friend struct MessageViewParser;
+  std::span<const std::uint8_t> wire_{};
+  std::uint32_t offset_ = 0;
+  std::uint16_t wire_length_ = 1;
+  std::uint8_t label_count_ = 0;
+};
+
+/// A question-section entry, in place.
+struct QuestionView {
+  NameView name;
+  RrType type = RrType::kA;
+  RrClass klass = RrClass::kIn;
+};
+
+/// A resource record, in place. `rdata` is the raw on-wire bytes: for the
+/// types whose rdata may embed compressed names (NS/CNAME/SOA/MX) it is NOT
+/// the normalised form Message::decode stores — materialise via
+/// MessageView::to_message() when owned, normalised records are needed.
+struct RecordView {
+  NameView name;
+  RrType type = RrType::kA;
+  RrClass klass = RrClass::kIn;
+  std::uint32_t ttl = 0;
+  std::span<const std::uint8_t> rdata{};
+};
+
+/// EDNS(0) state lifted from the OPT pseudo-record; options stay raw.
+struct EdnsView {
+  std::uint16_t udp_payload_size = 1232;
+  std::uint8_t version = 0;
+  bool do_bit = false;
+  /// Raw concatenated {code u16, len u16, data} option bytes (validated).
+  std::span<const std::uint8_t> options{};
+
+  /// First EDE option, decoded; nullopt if none present or malformed.
+  std::optional<EdeInfo> ede() const;
+};
+
+struct ViewDecodeResult;  // defined after MessageView (holds one)
+
+/// A full message parsed in place. Views stay valid only while the wire
+/// buffer and the arena passed to parse() are alive and untouched.
+struct MessageView {
+  Header header;
+  std::span<const QuestionView> questions{};
+  std::span<const RecordView> answers{};
+  std::span<const RecordView> authorities{};
+  std::span<const RecordView> additionals{};
+  std::optional<EdnsView> edns;
+
+  /// Parses one datagram / TCP frame payload with Message::decode's exact
+  /// accept set and error taxonomy. Section arrays are bump-allocated from
+  /// `arena`; the caller resets the arena between queries.
+  static ViewDecodeResult parse(std::span<const std::uint8_t> wire,
+                                MonotonicArena& arena);
+
+  const QuestionView* question() const noexcept {
+    return questions.empty() ? nullptr : &questions.front();
+  }
+
+  /// Materialises the owned message this view was parsed from — bytes are
+  /// re-decoded so embedded compressed rdata names come out normalised,
+  /// exactly as Message::decode produces. Cold path (the wire is known
+  /// valid, so the decode cannot fail).
+  Message to_message() const;
+
+ private:
+  friend struct MessageViewParser;
+  std::span<const std::uint8_t> wire_{};
+};
+
+/// Outcome of MessageView::parse: the view, or why there is none.
+struct ViewDecodeResult {
+  std::optional<MessageView> view;
+  WireErrc error = WireErrc::kOk;
+
+  explicit operator bool() const noexcept { return view.has_value(); }
+};
+
+}  // namespace zh::dns

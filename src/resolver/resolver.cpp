@@ -462,7 +462,7 @@ bool RecursiveResolver::install_validated_keys(
   const auto response = query_servers(ctx.servers, ctx.apex, RrType::kDnskey);
   if (!response) return false;
 
-  const auto dnskey_records = response->answers_of_type(RrType::kDnskey);
+  const auto dnskey_records = response->answers_with(RrType::kDnskey);
   if (dnskey_records.empty()) return false;
 
   RrSet dnskey_set;
@@ -671,7 +671,7 @@ RecursiveResolver::Outcome RecursiveResolver::resolve_internal(
                 }
                 next.security = Security::kInsecure;
               }
-            } else if (!response->authorities_of_type(RrType::kNsec)
+            } else if (!response->authorities_with(RrType::kNsec)
                             .empty()) {
               next.security = Security::kInsecure;
             } else {
@@ -826,7 +826,7 @@ RecursiveResolver::Outcome RecursiveResolver::validate_positive(
       if (!covered)
         return make_servfail(dns::EdeCode::kDnssecBogus,
                              "wildcard next-closer not covered");
-    } else if (response.authorities_of_type(RrType::kNsec).empty()) {
+    } else if (response.authorities_with(RrType::kNsec).empty()) {
       return make_servfail(dns::EdeCode::kDnssecBogus,
                            "wildcard expansion without denial proof");
     }
@@ -977,7 +977,7 @@ RecursiveResolver::Outcome RecursiveResolver::validate_negative(
 
   if (view.rdatas.empty()) {
     // NSEC (or nothing). A secure zone must prove its denials.
-    const auto nsecs = response.authorities_of_type(RrType::kNsec);
+    const auto nsecs = response.authorities_with(RrType::kNsec);
     if (nsecs.empty())
       return make_servfail(dns::EdeCode::kNsecMissing,
                            "negative response without denial proof");

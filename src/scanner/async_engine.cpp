@@ -8,14 +8,43 @@ void QueryTask::begin(const FlowQuery& query, simtime::Duration now,
   round_ = 0;
   logical_attempts_ = 0;
   logical_start_ = now;
+  wire_ready_ = false;
+  arena_.reset();
   begin_exchange(next_id);
   state_ = State::kSend;
 }
 
 void QueryTask::begin_exchange(std::uint16_t& next_id) {
-  wire_ = dns::Message::make_query(next_id++, query_.qname, query_.type,
-                                   /*dnssec_ok=*/true);
-  if (query_.cd) wire_.header.cd = true;
+  const std::uint16_t id = next_id++;
+  if (wire_ready_) {
+    // Transient-SERVFAIL re-ask: same question, fresh id. Rewriting the
+    // header in place keeps the bytes identical to a fresh make_query and
+    // reuses all of the message's storage.
+    wire_.header.id = id;
+  } else {
+    // First round: rebuild in place, field by field, so the question vector
+    // and EDNS storage persisting in wire_ are reused across logical
+    // queries instead of reallocated. Byte-identical to
+    // make_query(id, qname, type) + cd.
+    wire_.header = dns::Header{};
+    wire_.header.id = id;
+    wire_.header.rd = true;
+    wire_.header.cd = query_.cd;
+    wire_.questions.resize(1);
+    dns::Question& q = wire_.questions.front();
+    q.name = query_.qname;
+    q.type = query_.type;
+    q.klass = dns::RrClass::kIn;
+    wire_.answers.clear();
+    wire_.authorities.clear();
+    wire_.additionals.clear();
+    if (!wire_.edns) wire_.edns.emplace();
+    wire_.edns->udp_payload_size = 1232;
+    wire_.edns->version = 0;
+    wire_.edns->do_bit = true;
+    wire_.edns->options.clear();
+    wire_ready_ = true;
+  }
   attempt_ = 0;
   exchange_attempts_ = 0;
 }

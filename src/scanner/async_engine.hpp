@@ -38,6 +38,7 @@
 #include <utility>
 #include <vector>
 
+#include "dns/arena.hpp"
 #include "scanner/scan_flow.hpp"
 #include "simnet/network.hpp"
 #include "simtime/simtime.hpp"
@@ -114,6 +115,11 @@ class QueryTask {
     return std::move(outcome_);
   }
 
+  /// Per-query scratch for zero-copy parsing (dns::MessageView) on
+  /// wire-bytes transports; reset at every begin(). Steady state it holds
+  /// one slab, so the reset is a cursor rewind — no heap traffic.
+  dns::MonotonicArena& arena() noexcept { return arena_; }
+
  private:
   void begin_exchange(std::uint16_t& next_id);
   /// Books the finished exchange; starts a transient-SERVFAIL re-ask round
@@ -124,6 +130,8 @@ class QueryTask {
   State state_ = State::kIdle;
   FlowQuery query_;
   dns::Message wire_;  // current round's message (TCP fallback resends it)
+  bool wire_ready_ = false;  // wire_ matches query_; re-asks rewrite the id
+  dns::MonotonicArena arena_;
   unsigned round_ = 0;
   unsigned attempt_ = 0;
   unsigned exchange_attempts_ = 0;
@@ -172,6 +180,7 @@ class AsyncEngine {
     wheel_ = simtime::TimerWheel(options_.wheel_tick);
     wheel_.advance(epoch);  // align wheel time with the virtual clock
     tasks_.clear();
+    free_slots_.clear();
     next_position_ = 0;
     count_ = count;
     latest_ = epoch;
@@ -210,15 +219,31 @@ class AsyncEngine {
 
   void admit(const MakeItem& make, simtime::Duration at) {
     Item item = make(next_position_);
-    const std::size_t slot = tasks_.size();
-    tasks_.push_back(std::make_unique<Task>());
-    Task& task = *tasks_.back();
+    // Reuse a settled task's slot (and its Task allocation, query-message
+    // buffers and arena slab) when one is free: the task table stays
+    // O(window), not O(items admitted). Slot reuse cannot reorder anything —
+    // wheel expiries are ordered by (deadline, arm sequence) and the payload
+    // never participates, and a slot is only freed after its last timer
+    // fired.
+    std::size_t slot;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+    } else {
+      slot = tasks_.size();
+      tasks_.push_back(std::make_unique<Task>());
+    }
+    Task& task = *tasks_[slot];
     task.slot = slot;
     task.position = next_position_++;
     task.destination = item.destination;
     task.flow = std::move(item.flow);
     task.net = simnet::FlowState{item.flow_key, 0};
+    task.query_inflight = false;
+    task.finished = false;
     task.started = at;
+    task.finish_time = simtime::Duration{};
+    task.totals = TaskTotals{};
     // The first resume goes through the wheel too, so admissions interleave
     // deterministically with same-instant completions.
     wheel_.arm(at, slot);
@@ -248,7 +273,7 @@ class AsyncEngine {
     on_complete(task.position, task.flow, task.totals);
     queries_ += task.totals.queries;
     const simtime::Duration finish_time = task.finish_time;
-    tasks_[static_cast<std::size_t>(slot)].reset();  // release flow + buffers
+    free_slots_.push_back(static_cast<std::size_t>(slot));
     // A settled task frees a window slot: admit the next item at this very
     // instant — the async analog of the blocking engine's next iteration.
     if (next_position_ < count_) admit(make, finish_time);
@@ -290,6 +315,7 @@ class AsyncEngine {
   AsyncOptions options_;
   simtime::TimerWheel wheel_;
   std::vector<std::unique_ptr<Task>> tasks_;  // slot-indexed, stable ids
+  std::vector<std::size_t> free_slots_;       // settled slots ready for reuse
   std::size_t next_position_ = 0;
   std::size_t count_ = 0;
   simtime::Duration latest_;

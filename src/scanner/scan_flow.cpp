@@ -30,7 +30,7 @@ void DomainScanFlow::feed(const FlowOutcome& outcome) {
         return;
       }
       result_.dnskey =
-          !outcome.response->answers_of_type(RrType::kDnskey).empty();
+          !outcome.response->answers_with(RrType::kDnskey).empty();
       if (!result_.dnskey) {
         result_.classification = DomainScanResult::Class::kNoDnssec;
         finish();
@@ -44,9 +44,9 @@ void DomainScanFlow::feed(const FlowOutcome& outcome) {
       // 2. NSEC3PARAM + NS.
       if (outcome.response) {
         const auto params =
-            outcome.response->answers_of_type(RrType::kNsec3Param);
+            outcome.response->answers_with(RrType::kNsec3Param);
         result_.nsec3param_count = params.size();
-        if (params.size() == 1) {
+        if (result_.nsec3param_count == 1) {
           result_.nsec3param = params.front().as<dns::Nsec3ParamRdata>();
         }
       }
@@ -57,7 +57,7 @@ void DomainScanFlow::feed(const FlowOutcome& outcome) {
     case Step::kNs: {
       if (outcome.response) {
         for (const auto& rr :
-             outcome.response->answers_of_type(RrType::kNs)) {
+             outcome.response->answers_with(RrType::kNs)) {
           if (const auto ns = rr.as<dns::NsRdata>())
             result_.ns_names.push_back(ns->nsdname);
         }

@@ -62,6 +62,12 @@ class ChainKeyBuilder {
     add_length(s.size());
     buffer_.append(s);
   }
+  /// Same bytes as add_bytes(name.to_canonical_wire()) — the length prefix
+  /// is the name's wire length — without the temporary vector.
+  void add_name(const dns::Name& name) {
+    add_length(name.wire_length());
+    name.append_canonical_to(buffer_);
+  }
   void add_u64(std::uint64_t v) {
     char field[8];
     for (int i = 7; i >= 0; --i) {

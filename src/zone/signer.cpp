@@ -191,9 +191,7 @@ SigningResult sign_zone(Zone& zone, const SignerConfig& config) {
     bool chain_done = false;
     if (memo.enabled()) {
       ChainKeyBuilder kb;
-      const auto apex_wire = zone.apex().to_canonical_wire();
-      kb.add_bytes(std::span<const std::uint8_t>(apex_wire.data(),
-                                                 apex_wire.size()));
+      kb.add_name(zone.apex());
       kb.add_string(seed);
       kb.add_u16(config.nsec3.iterations);
       kb.add_bytes(salt_span);
@@ -203,8 +201,7 @@ SigningResult sign_zone(Zone& zone, const SignerConfig& config) {
       kb.add_u32(nsec3_expiration);
       kb.add_u64(chain_names.size());
       for (std::size_t i = 0; i < chain_names.size(); ++i) {
-        const auto wire = chain_names[i].to_canonical_wire();
-        kb.add_bytes(std::span<const std::uint8_t>(wire.data(), wire.size()));
+        kb.add_name(chain_names[i]);
         const auto bitmap = chain_bitmaps[i].encode();
         kb.add_bytes(
             std::span<const std::uint8_t>(bitmap.data(), bitmap.size()));

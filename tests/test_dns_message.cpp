@@ -215,6 +215,61 @@ TEST(Message, AnswersOfTypeFilters) {
   EXPECT_EQ(msg.authorities_of_type(RrType::kNs).size(), 1u);
 }
 
+TEST(Message, TypedRangesMatchDeepCopyingFilters) {
+  // answers_with/authorities_with are the lazy, non-copying twins of
+  // answers_of_type/authorities_of_type: same records, same order.
+  Message msg = sample_response();
+  msg.answers.push_back(make_txt(Name::must_parse("www.example.com"), 60,
+                                 "hello"));
+  for (const RrType type :
+       {RrType::kA, RrType::kTxt, RrType::kNs, RrType::kNsec3}) {
+    const auto copied = msg.answers_of_type(type);
+    const auto range = msg.answers_with(type);
+    EXPECT_EQ(range.size(), copied.size());
+    EXPECT_EQ(range.empty(), copied.empty());
+    std::size_t i = 0;
+    for (const ResourceRecord& rr : range) {
+      ASSERT_LT(i, copied.size());
+      EXPECT_EQ(rr.type, copied[i].type);
+      EXPECT_EQ(rr.rdata, copied[i].rdata);
+      EXPECT_TRUE(rr.name.equals(copied[i].name));
+      ++i;
+    }
+    EXPECT_EQ(i, copied.size());
+    if (!copied.empty()) EXPECT_EQ(range.front().rdata, copied.front().rdata);
+  }
+  EXPECT_EQ(msg.authorities_with(RrType::kNs).size(),
+            msg.authorities_of_type(RrType::kNs).size());
+  EXPECT_TRUE(msg.authorities_with(RrType::kNsec3).empty());
+}
+
+TEST(Message, WireSizeMatchesEncodingWithCompression) {
+  // wire_size() must replicate the compressor's pointer decisions exactly —
+  // sample_response() compresses aggressively (shared example.com suffixes).
+  const Message response = sample_response();
+  EXPECT_EQ(response.wire_size(), response.to_wire().size());
+
+  // A query (no compression opportunities, EDNS present).
+  const Message query =
+      Message::make_query(7, Name::must_parse("a.b.example.com"), RrType::kA);
+  EXPECT_EQ(query.wire_size(), query.to_wire().size());
+
+  // Names landing past the 0x3fff pointer-offset ceiling must not be
+  // registered as compression targets; pad a message past 16 KiB and append
+  // repeated owners to force that branch in both encoder and sizer.
+  Message big = sample_response();
+  for (int i = 0; i < 500; ++i) {
+    big.answers.push_back(make_txt(Name::must_parse("pad.example.com"), 60,
+                                   std::string(30, 'p')));
+  }
+  big.answers.push_back(make_txt(
+      Name::must_parse("tail.far.example.org"), 60, "x"));
+  big.answers.push_back(make_txt(
+      Name::must_parse("tail.far.example.org"), 60, "y"));
+  ASSERT_GT(big.to_wire().size(), 0x4000u);
+  EXPECT_EQ(big.wire_size(), big.to_wire().size());
+}
+
 TEST(Message, SummaryMentionsRcodeAndQuestion) {
   const Message msg = sample_response();
   const std::string summary = msg.summary();

@@ -163,6 +163,52 @@ TEST(Name, CanonicalCompareShorterLabelFirst) {
                                       Name::must_parse("abc.example")) < 0);
 }
 
+TEST(Name, AppendCanonicalMatchesCanonicalWire) {
+  // append_canonical_to is the allocation-free twin of to_canonical_wire:
+  // the memo-key builder (zone/chain_memo.hpp) depends on the bytes being
+  // identical, length for length.
+  for (const char* text : {"Example.COM", "a.b.c.d.example", "xn--e1afmkfd"}) {
+    const Name name = Name::must_parse(text);
+    std::string appended;
+    name.append_canonical_to(appended);
+    const std::vector<std::uint8_t> wire = name.to_canonical_wire();
+    ASSERT_EQ(appended.size(), wire.size());
+    ASSERT_EQ(appended.size(), name.wire_length());
+    EXPECT_TRUE(std::equal(wire.begin(), wire.end(),
+                           reinterpret_cast<const std::uint8_t*>(
+                               appended.data())));
+  }
+  std::string root;
+  Name::root().append_canonical_to(root);
+  EXPECT_EQ(root, std::string(1, '\0'));
+}
+
+TEST(Name, SuffixCompareMatchesMaterialisedAncestor) {
+  // NameSuffix ordering (the transparent zone-map lookup) must agree with
+  // comparing against the materialised ancestor for every label count,
+  // including counts past the name's depth (clamped, like
+  // ancestor_with_labels' callers guarantee).
+  const Name names[] = {
+      Name::root(), Name::must_parse("com"), Name::must_parse("example.com"),
+      Name::must_parse("A.exAmple.Com"), Name::must_parse("z.a.example.com"),
+      Name::must_parse("aa.example.org")};
+  for (const Name& a : names) {
+    for (const Name& b : names) {
+      for (std::size_t labels = 0; labels <= b.label_count(); ++labels) {
+        const Name ancestor = b.ancestor_with_labels(labels);
+        const NameSuffix suffix{&b, labels};
+        EXPECT_EQ(Name::canonical_compare_suffix(a, suffix),
+                  Name::canonical_compare(a, ancestor))
+            << a.to_string() << " vs " << b.to_string() << "/" << labels;
+        // The comparator overloads order identically to two owned names.
+        const NameCanonicalLess less;
+        EXPECT_EQ(less(a, suffix), less(a, ancestor));
+        EXPECT_EQ(less(suffix, a), less(ancestor, a));
+      }
+    }
+  }
+}
+
 TEST(Name, HashDistinguishesNames) {
   EXPECT_NE(Name::must_parse("a.example").hash(),
             Name::must_parse("b.example").hash());

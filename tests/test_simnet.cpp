@@ -311,6 +311,64 @@ TEST(NetworkTransport, NonEdnsClientsGet512ByteBudget) {
   EXPECT_TRUE(response->header.tc);
 }
 
+// The truncation decision now asks wire_size() instead of serialising and
+// measuring; this pins the cutover at the exact 512-byte boundary and the
+// truncated response's wire bytes — neither may change.
+TEST(NetworkTransport, TruncationBoundaryAndWireBytesUnchanged) {
+  Network network;
+  const auto server = IpAddress::v4(192, 0, 2, 1);
+  const Name qname = Name::must_parse("edge.example");
+
+  // Calibrate TXT payloads so the full response encodes to exactly the
+  // 512-byte non-EDNS budget (one extra byte then tips it over). A TXT
+  // character-string caps at 255 bytes, so grow with fixed-size records
+  // until the budget is within one final record's reach.
+  Message query = Message::make_query(5, qname, RrType::kTxt);
+  query.edns.reset();
+  Message base = Message::make_response(query);
+  base.header.aa = true;
+  std::size_t floor = 0;  // size with an empty final record appended
+  for (;;) {
+    Message probe = base;
+    probe.answers.push_back(dns::make_txt(qname, 60, ""));
+    floor = probe.to_wire().size();
+    if (floor + 254 >= 512) break;
+    base.answers.push_back(dns::make_txt(qname, 60, std::string(100, 'x')));
+  }
+  ASSERT_LE(floor, 512u);
+
+  for (const std::size_t extra : {std::size_t{0}, std::size_t{1}}) {
+    Message response = base;
+    response.answers.push_back(
+        dns::make_txt(qname, 60, std::string(512 + extra - floor, 'x')));
+    // The decision input equals the serialised size, always.
+    ASSERT_EQ(response.wire_size(), response.to_wire().size());
+    ASSERT_EQ(response.wire_size(), 512 + extra);
+    network.attach(server, [&response](const Message&, const IpAddress&) {
+      return std::optional<Message>(response);
+    });
+
+    const auto got = network.send(IpAddress::v4(9, 9, 9, 9), server, query);
+    ASSERT_TRUE(got);
+    if (extra == 0) {
+      // Exactly at budget: delivered whole, bit for bit.
+      EXPECT_FALSE(got->header.tc);
+      EXPECT_EQ(got->to_wire(), response.to_wire());
+      EXPECT_EQ(network.truncations(), 0u);
+    } else {
+      // One byte over: TC skeleton with the handler's rcode/aa preserved.
+      Message expected = Message::make_response(query);
+      expected.header.rcode = response.header.rcode;
+      expected.header.aa = response.header.aa;
+      expected.header.tc = true;
+      EXPECT_TRUE(got->header.tc);
+      EXPECT_TRUE(got->answers.empty());
+      EXPECT_EQ(got->to_wire(), expected.to_wire());
+      EXPECT_EQ(network.truncations(), 1u);
+    }
+  }
+}
+
 // Stress/property test at the async engine's scale target: 8k staggered
 // in-flight queries multiplexed over one network with loss, jitter and
 // retransmission must never reorder each other's flow-keyed RNG draws.
